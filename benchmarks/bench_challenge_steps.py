@@ -1,0 +1,72 @@
+"""Experiment §4.1.2-Steps — the Steps challenge: load ladder to saturation.
+
+"The character has to go through a set of increasing or decreasing
+throughput levels.  This simulates an increasing load on the database; at
+some point the DBMS will become saturated and be unable to process any
+more transactions."
+
+A perfect pilot climbs a steps course on Derby; the bench reports per-step
+target vs delivered throughput and finds the saturation knee: steps below
+capacity are tracked exactly, steps above it plateau (and the game crashes
+there, exactly as the demo intends).
+"""
+
+import pytest
+
+from repro.api import ControlApi
+from repro.benchpress import (Character, Course, GameSession, PerfectPilot,
+                              steps)
+from repro.core import Phase
+
+from conftest import build_sim, once, report
+
+STEP_WIDTH = 12
+LEVELS = (400, 1200, 2000, 2800, 3600, 4400)
+
+
+def run_steps():
+    course = Course.build([
+        steps(base=LEVELS[0], step=LEVELS[1] - LEVELS[0],
+              count=len(LEVELS), width=STEP_WIDTH, corridor=0.3)],
+        start=8)
+    executor, manager, _bench = build_sim(
+        "ycsb", [Phase(duration=course.end + 20, rate=100)],
+        workers=8, personality="derby")
+    control = ControlApi()
+    control.register(manager)
+    session = GameSession(
+        control, "tenant-0", course, pilot=PerfectPilot(lookahead=2),
+        character=Character(requested_rate=100, max_rate=1e9),
+        halt_on_crash=False)  # keep measuring the full ladder post-crash
+    session.run_on(executor)
+    executor.run(until=course.end + 10)
+
+    rows = []
+    for i, level in enumerate(LEVELS):
+        lo = 8 + i * STEP_WIDTH + 3
+        hi = 8 + (i + 1) * STEP_WIDTH
+        delivered = manager.results.throughput((lo, hi))
+        rows.append((i + 1, level, round(delivered, 1),
+                     round(delivered / level, 3)))
+    return rows, session.summary()
+
+
+def test_steps_challenge_saturates(benchmark):
+    rows, summary = once(benchmark, lambda: run_steps())
+    report(
+        "Steps challenge (derby, 8 workers): ladder into saturation",
+        ["Step", "Target tps", "Delivered tps", "Delivered/Target"],
+        rows,
+        notes=f"game outcome: {summary['state']} after "
+              f"{summary['obstacles_passed']} obstacles "
+              f"(crash at the saturation step is the expected shape)")
+    # Early steps track the target; late steps plateau at capacity.
+    assert rows[0][3] > 0.9
+    assert rows[1][3] > 0.9
+    assert rows[-1][3] < 0.75
+    deliveries = [r[2] for r in rows]
+    assert max(deliveries[-2:]) - min(deliveries[-2:]) < \
+        0.2 * max(deliveries)  # plateau
+    # The character crashed into the unreachable step.
+    assert summary["state"] == "crashed"
+    assert summary["obstacles_passed"] >= 2

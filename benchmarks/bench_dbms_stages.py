@@ -1,0 +1,54 @@
+"""Experiment F2a/F2b — the DBMS selection screen: stages differ.
+
+Fig. 2b lets the player pick PostgreSQL / Apache Derby / Oracle / MySQL;
+each DBMS is a different stage because each saturates at a different
+throughput and responds differently.  The bench pushes YCSB open-loop on
+every personality and reports the saturation throughput and latency: the
+ordering (oracle > postgres ~ mysql >> derby) is the shape under test.
+"""
+
+import pytest
+
+from repro.core import Phase, RATE_DISABLED
+
+from conftest import build_sim, once, report
+
+PERSONALITIES = ("oracle", "postgres", "mysql", "derby")
+WORKERS = 8
+DURATION = 8
+
+
+def run_stages():
+    rows = {}
+    for personality in PERSONALITIES:
+        executor, manager, _bench = build_sim(
+            "ycsb", [Phase(duration=DURATION, rate=RATE_DISABLED)],
+            workers=WORKERS, personality=personality)
+        executor.run()
+        results = manager.results
+        latency = results.latency_percentiles()
+        rows[personality] = (
+            personality,
+            round(results.throughput(), 1),
+            round(latency["avg"] * 1000, 3),
+            round(latency["p99"] * 1000, 3),
+            results.aborted(),
+        )
+    return rows
+
+
+def test_dbms_stages_differ(benchmark):
+    rows = once(benchmark, run_stages)
+    report(
+        "Fig 2b: DBMS stages (closed-loop saturation, YCSB, 8 workers)",
+        ["DBMS", "Saturation tps", "Avg latency ms", "p99 ms", "Aborts"],
+        list(rows.values()),
+        notes="shape: oracle fastest, derby slowest by >4x, "
+              "derby latency noisiest")
+    tps = {name: row[1] for name, row in rows.items()}
+    assert tps["oracle"] > tps["postgres"]
+    assert tps["oracle"] > tps["mysql"]
+    assert tps["postgres"] > tps["derby"] * 3
+    assert tps["mysql"] > tps["derby"] * 3
+    # Derby pays more than 3x oracle's average latency.
+    assert rows["derby"][2] > rows["oracle"][2] * 3

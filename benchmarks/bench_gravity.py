@@ -1,0 +1,69 @@
+"""Experiment §4.1 — gravity: linear decay of throughput without input.
+
+"A fall makes the game character go down following some simulated gravity,
+in the sense that the throughput automatically decreases linearly until
+reaching 0 transactions per second, at which point the character falls on
+the floor."
+
+The bench starts a session at 200 tps with no pilot and reports the
+requested/delivered trajectory: requested must decay linearly at the
+configured gravity until 0, and delivered must follow it down to the floor.
+"""
+
+import pytest
+
+from repro.api import ControlApi
+from repro.benchpress import Character, Course, GameSession, NoInputPilot, \
+    steps
+from repro.core import Phase
+
+from conftest import build_sim, once, report
+
+START_RATE = 200.0
+GRAVITY = 10.0
+
+
+def run_gravity():
+    # A far-away course so nothing collides during the fall.
+    course = Course.build(
+        [steps(base=50, step=0, count=1, width=5)], start=500)
+    executor, manager, _bench = build_sim(
+        "ycsb", [Phase(duration=60, rate=START_RATE)],
+        workers=8, personality="oracle")
+    control = ControlApi()
+    control.register(manager)
+    session = GameSession(
+        control, "tenant-0", course, pilot=NoInputPilot(),
+        character=Character(requested_rate=START_RATE, gravity=GRAVITY))
+    session.run_on(executor)
+    executor.run(until=45)
+    return session
+
+
+def test_gravity_decays_linearly_to_zero(benchmark):
+    session = once(benchmark, run_gravity)
+    rows = [(round(t, 1), round(requested, 1), round(delivered, 1))
+            for t, requested, delivered in session.altitude_history
+            if t % 5 == 0]
+    report(
+        f"Gravity: no input from {START_RATE:.0f} tps "
+        f"(gravity {GRAVITY:.0f} tps/s)",
+        ["t (s)", "Requested tps", "Delivered tps"],
+        rows,
+        notes="requested decays linearly; delivered follows to the floor")
+    trajectory = {round(t): requested
+                  for t, requested, _d in session.altitude_history}
+    # Linear decay: after k seconds, requested = start - k * gravity.
+    for k in (5, 10, 15):
+        assert trajectory[k] == pytest.approx(
+            START_RATE - k * GRAVITY, abs=GRAVITY)
+    # The floor is reached and held: character grounded, workload paused.
+    floor_time = START_RATE / GRAVITY
+    late = [req for t, req, _d in session.altitude_history
+            if t > floor_time + 2]
+    assert late and all(req == 0 for req in late)
+    assert session.character.grounded
+    # Delivered throughput also hit zero (workload paused on the floor).
+    late_delivered = [d for t, _r, d in session.altitude_history
+                      if t > floor_time + 6]
+    assert late_delivered and max(late_delivered) < START_RATE * 0.05

@@ -1,0 +1,59 @@
+"""Experiment §4.1 (jumps) — perceiving system responsiveness.
+
+"This measures the ability of the DBMS to [react to] changes in the
+OLTP-Bench's requested load, thereby allowing the user to easily perceive
+the different system responsiveness."
+
+The bench issues a jump (200 -> 2800 tps) on every personality and
+measures the rise time: seconds until delivered throughput settles within
+10% of the new target.  Fast stages settle within a second; Derby — for
+which 3600 tps exceeds capacity — takes visibly longer, which is what
+the player feels through the character.
+"""
+
+import pytest
+
+from repro.core import Phase
+
+from conftest import analyzer, build_sim, once, report
+
+LOW, HIGH = 200, 3600
+JUMP_AT = 10.0
+
+
+def run_jump(personality):
+    executor, manager, _bench = build_sim(
+        "ycsb", [Phase(duration=10, rate=LOW), Phase(duration=15,
+                                                     rate=HIGH)],
+        workers=8, personality=personality)
+    executor.run()
+    a = analyzer(manager)
+    rise = a.rise_time(change_at=JUMP_AT, target=HIGH, tolerance=0.10)
+    settled = manager.results.throughput((JUMP_AT + 5, 25))
+    return rise, settled
+
+
+def run_all():
+    return {p: run_jump(p)
+            for p in ("oracle", "postgres", "mysql", "derby")}
+
+
+def test_jump_responsiveness(benchmark):
+    outcome = once(benchmark, run_all)
+    rows = [(name, "never" if rise is None else round(rise, 1),
+             round(settled, 1))
+            for name, (rise, settled) in outcome.items()]
+    report(
+        f"Responsiveness: jump {LOW} -> {HIGH} tps at t={JUMP_AT:.0f}s",
+        ["DBMS", "Rise time s (within 10%)", "Settled tps"],
+        rows,
+        notes="the character's jump responds at the speed of the stage")
+    for name in ("oracle", "postgres", "mysql"):
+        rise, settled = outcome[name]
+        assert rise is not None and rise <= 2.0, name
+        assert settled == pytest.approx(HIGH, rel=0.05), name
+    derby_rise, derby_settled = outcome["derby"]
+    # Derby is pushed near its ceiling: it either never settles within
+    # 10% or takes far longer than the fast stages.
+    assert derby_rise is None or derby_rise > 2.0 or \
+        derby_settled < HIGH * 0.97

@@ -1,0 +1,90 @@
+"""Experiment §4.3 — two-player mode: one player affects the other.
+
+"the two-player version of the game allows the players to experience in
+real-time the effects of multi-tenancy, with one player affecting the
+other."
+
+Player 1 holds a tunnel at 60% of Derby's capacity.  Solo (player 2 idle)
+that is easy; when player 2 floods the shared server, player 1's delivered
+throughput sags out of the corridor and the run crashes.
+"""
+
+import pytest
+
+from repro.benchpress import (Character, Course, PerfectPilot, PlayerSpec,
+                              TwoPlayerGame, steps, tunnel)
+from repro.core import Phase, WorkloadConfiguration
+from repro.engine import Database
+from repro.engine.service import get_personality
+
+from conftest import build_sim, once, report
+
+
+class _Hold:
+    def __init__(self, level, until):
+        self.level = level
+        self.until = until
+
+    def act(self, session, now):
+        if now < self.until:
+            session.character.set_requested(self.level)
+
+
+def _player(bench, tenant, course, pilot, workers=8):
+    return PlayerSpec(
+        benchmark=bench,
+        config=WorkloadConfiguration(
+            benchmark="ycsb", workers=workers, seed=1, tenant=tenant,
+            phases=[Phase(duration=course.end + 15, rate=40)]),
+        course=course,
+        pilot=pilot,
+        character=Character(requested_rate=40, max_rate=1e9),
+    )
+
+
+def run_scenario(rival_rate, rival_workers):
+    from repro.benchmarks import create_benchmark
+    level = get_personality("derby").saturation_tps(1.5, 0.3) * 0.6
+    tunnel_course = Course.build(
+        [tunnel(level=level, duration=25, corridor=0.12)], start=10)
+    rival_course = Course.build(
+        [steps(base=rival_rate, step=0, count=1, width=40,
+               corridor=1.9)], start=8)
+
+    db = Database()
+    bench = create_benchmark("ycsb", db, scale_factor=0.3, seed=7)
+    bench.load()
+    game = TwoPlayerGame(db, personality="derby")
+    game.add_player(_player(bench, "player-1", tunnel_course,
+                            _Hold(level, 10)))
+    game.add_player(_player(bench, "player-2", rival_course,
+                            _Hold(rival_rate, 1e9),
+                            workers=rival_workers))
+    game.run()
+    p1, p2 = game.summaries()
+    results = game.sessions[0].control.status  # noqa: F841 (debug hook)
+    return level, p1, p2
+
+
+def run_both():
+    level, solo_p1, _ = run_scenario(rival_rate=5, rival_workers=2)
+    _, contended_p1, rival = run_scenario(rival_rate=8000, rival_workers=32)
+    return level, solo_p1, contended_p1, rival
+
+
+def test_two_player_interference(benchmark):
+    level, solo, contended, rival = once(benchmark, run_both)
+    report(
+        f"Two-player: player 1 holds a tunnel at {level:.0f} tps on "
+        "shared derby",
+        ["Scenario", "Player 1 state", "P1 obstacles", "Rival state"],
+        [
+            ("rival idle (5 tps)", solo["state"],
+             solo["obstacles_passed"], "-"),
+            ("rival flooding (8000 tps)", contended["state"],
+             contended["obstacles_passed"], rival["state"]),
+        ],
+        notes="the same corridor passes solo and crashes under "
+              "a flooding neighbour")
+    assert solo["state"] == "completed"
+    assert contended["state"] == "crashed"

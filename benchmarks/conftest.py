@@ -1,0 +1,100 @@
+"""Shared harness for the experiment benches.
+
+Every ``bench_*.py`` reproduces one exhibit or quantitative claim of the
+paper (see DESIGN.md §4).  Benches run on the simulated executor unless the
+experiment is specifically about real thread/lock behaviour, print the
+rows/series the paper describes, and assert the *shape* of the result
+(who wins, by roughly what factor, where crossovers fall).
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from repro.api import ControlApi
+from repro.benchmarks import create_benchmark
+from repro.clock import SimClock
+from repro.core import (Phase, SimulatedExecutor, ThreadedExecutor,
+                        WorkloadConfiguration, WorkloadManager)
+from repro.engine import Database
+from repro.trace import TraceAnalyzer
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Small population overrides so Python-speed loads stay sub-second.
+SMALL_SIZES = {
+    "tpcc": dict(districts=2, customers_per_district=40, items=100,
+                 initial_orders=25),
+    "chbenchmark": dict(districts=2, customers_per_district=40, items=100,
+                        initial_orders=25),
+}
+
+
+def build_sim(benchmark_name: str, phases: Sequence[Phase], *,
+              workers: int = 8, personality: str = "mysql",
+              scale_factor: float = 0.3, seed: int = 7,
+              tenant: str = "tenant-0", db: Optional[Database] = None,
+              executor: Optional[SimulatedExecutor] = None,
+              bench=None, queue_policy: str = "cap"):
+    """Wire one simulated workload; returns (executor, manager, bench)."""
+    if db is None:
+        db = executor.database if executor else Database()
+    if bench is None:
+        bench = create_benchmark(
+            benchmark_name, db, scale_factor=scale_factor, seed=seed,
+            **SMALL_SIZES.get(benchmark_name, {}))
+        bench.load()
+    if executor is None:
+        executor = SimulatedExecutor(db, personality, SimClock())
+    cfg = WorkloadConfiguration(
+        benchmark=benchmark_name, workers=workers, seed=seed, tenant=tenant,
+        phases=list(phases))
+    manager = WorkloadManager(bench, cfg, clock=executor.clock,
+                              queue_policy=queue_policy)
+    executor.add_workload(manager)
+    return executor, manager, bench
+
+
+def analyzer(manager) -> TraceAnalyzer:
+    return TraceAnalyzer(manager.results)
+
+
+def report(name: str, headers: Sequence[str], rows: Sequence[Sequence],
+           notes: str = "") -> str:
+    """Format, print, and persist one experiment table."""
+    widths = [max(len(str(h)), *(len(_fmt(r[i])) for r in rows), 4)
+              for i, h in enumerate(headers)] if rows else \
+             [len(str(h)) for h in headers]
+    lines = [f"== {name} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_fmt(v).ljust(w)
+                               for v, w in zip(row, widths)))
+    if notes:
+        lines.append(notes)
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    safe = name.lower().replace(" ", "_").replace("/", "-")
+    (RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
+    return text
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

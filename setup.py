@@ -1,0 +1,6 @@
+"""Setup shim: allows `pip install -e .` on environments without the
+`wheel` package (the project metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""BenchPress / OLTP-Bench reproduction.
+
+A Python reimplementation of the OLTP-Bench database benchmarking testbed
+and the BenchPress dynamic-workload-control demonstration (SIGMOD 2015):
+
+* ``repro.engine`` — the in-memory DBMS substrate (SQL, locking, MVCC);
+* ``repro.core`` — workload manager, rate control, phases, workers;
+* ``repro.benchmarks`` — the 15 built-in benchmarks of paper Table 1;
+* ``repro.api`` — the RESTful runtime control API;
+* ``repro.monitor`` / ``repro.trace`` — server monitoring and results;
+* ``repro.benchpress`` — the game: challenges, physics, sessions.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,22 @@
+"""The runtime control API (paper §2.2.4).
+
+"We created a RESTful application programming interface (API) for
+OLTP-Bench that exposes the ability to programmatically control its
+execution at the runtime. This includes changing the current phase
+parameters by throttling the throughput or changing the workload mixture.
+In addition, this API also provides instantaneous feedback about the
+current execution throughput and average latency per transaction type."
+
+Three pieces:
+
+* :class:`ControlApi` — the in-process facade over registered
+  WorkloadManagers; the game drives this directly in simulated runs;
+* :class:`ApiServer` — an HTTP/JSON server exposing the facade;
+* :class:`ApiClient` — a Python client with the same method surface.
+"""
+
+from .control import ControlApi
+from .server import ApiServer
+from .client import ApiClient
+
+__all__ = ["ControlApi", "ApiServer", "ApiClient"]

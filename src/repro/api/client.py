@@ -1,0 +1,85 @@
+"""HTTP client for the control API, mirroring ControlApi's surface.
+
+Code written against :class:`~repro.api.control.ControlApi` runs unchanged
+against an :class:`ApiClient` pointed at a remote ApiServer — which is how
+the threaded demo wires the game to a live OLTP-Bench process.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Mapping, Optional
+from urllib.parse import urlparse
+
+from ..errors import ApiError
+
+
+class ApiClient:
+    """Thin JSON-over-HTTP client for :class:`ApiServer`."""
+
+    def __init__(self, url: str, timeout: float = 5.0) -> None:
+        parsed = urlparse(url)
+        if parsed.scheme != "http" or parsed.hostname is None:
+            raise ApiError(f"invalid API url {url!r}")
+        self._host = parsed.hostname
+        self._port = parsed.port or 80
+        self._timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> object:
+        conn = HTTPConnection(self._host, self._port, timeout=self._timeout)
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read() or b"null")
+            if response.status >= 400:
+                message = (data or {}).get("error", f"HTTP {response.status}")
+                raise ApiError(message)
+            return data
+        finally:
+            conn.close()
+
+    # -- mirrored surface -------------------------------------------------------
+
+    def tenants(self) -> list[str]:
+        return self._request("GET", "/tenants")
+
+    def benchmarks(self) -> list[dict]:
+        return self._request("GET", "/benchmarks")
+
+    def all_status(self) -> dict:
+        return self._request("GET", "/status")
+
+    def status(self, tenant: str) -> dict:
+        return self._request("GET", f"/workloads/{tenant}/status")
+
+    def presets(self, tenant: str) -> dict:
+        return self._request("GET", f"/workloads/{tenant}/presets")
+
+    def set_rate(self, tenant: str, rate: object) -> dict:
+        return self._request("POST", f"/workloads/{tenant}/rate",
+                             {"rate": rate})
+
+    def set_weights(self, tenant: str,
+                    weights: Mapping[str, float]) -> dict:
+        return self._request("POST", f"/workloads/{tenant}/weights",
+                             {"weights": dict(weights)})
+
+    def set_preset(self, tenant: str, preset: str) -> dict:
+        return self._request("POST", f"/workloads/{tenant}/preset",
+                             {"preset": preset})
+
+    def set_think_time(self, tenant: str, seconds: float) -> dict:
+        return self._request("POST", f"/workloads/{tenant}/think_time",
+                             {"seconds": seconds})
+
+    def pause(self, tenant: str) -> dict:
+        return self._request("POST", f"/workloads/{tenant}/pause")
+
+    def resume(self, tenant: str) -> dict:
+        return self._request("POST", f"/workloads/{tenant}/resume")

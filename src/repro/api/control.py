@@ -1,0 +1,99 @@
+"""In-process control facade: the single implementation behind the REST
+endpoints and the game's command stream."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..benchmarks import table1
+from ..core.manager import WorkloadManager
+from ..errors import ApiError
+
+
+class ControlApi:
+    """Registry of live workloads plus the control verbs of the paper."""
+
+    def __init__(self) -> None:
+        self._workloads: dict[str, WorkloadManager] = {}
+
+    # -- registry ------------------------------------------------------------
+
+    def register(self, manager: WorkloadManager) -> None:
+        tenant = manager.tenant
+        if tenant in self._workloads:
+            raise ApiError(f"tenant {tenant!r} already registered")
+        self._workloads[tenant] = manager
+
+    def unregister(self, tenant: str) -> None:
+        self._workloads.pop(tenant, None)
+
+    def tenants(self) -> list[str]:
+        return sorted(self._workloads)
+
+    def _manager(self, tenant: str) -> WorkloadManager:
+        try:
+            return self._workloads[tenant]
+        except KeyError:
+            raise ApiError(f"no workload registered for tenant "
+                           f"{tenant!r}") from None
+
+    # -- control verbs ----------------------------------------------------------
+
+    def set_rate(self, tenant: str, rate: object) -> dict:
+        """Throttle the request rate (tps, "unlimited", or "disabled")."""
+        manager = self._manager(tenant)
+        try:
+            manager.set_rate(rate)
+        except Exception as exc:
+            raise ApiError(str(exc)) from exc
+        return {"ok": True, "rate": manager.current_rate()}
+
+    def set_weights(self, tenant: str,
+                    weights: Mapping[str, float]) -> dict:
+        manager = self._manager(tenant)
+        try:
+            manager.set_weights(weights)
+        except Exception as exc:
+            raise ApiError(str(exc)) from exc
+        return {"ok": True, "weights": manager.current_weights()}
+
+    def set_preset(self, tenant: str, preset: str) -> dict:
+        manager = self._manager(tenant)
+        try:
+            manager.set_preset_mixture(preset)
+        except Exception as exc:
+            raise ApiError(str(exc)) from exc
+        return {"ok": True, "weights": manager.current_weights()}
+
+    def pause(self, tenant: str) -> dict:
+        self._manager(tenant).pause()
+        return {"ok": True, "paused": True}
+
+    def resume(self, tenant: str) -> dict:
+        self._manager(tenant).resume()
+        return {"ok": True, "paused": False}
+
+    def set_think_time(self, tenant: str, seconds: float) -> dict:
+        manager = self._manager(tenant)
+        try:
+            manager.set_think_time(float(seconds))
+        except Exception as exc:
+            raise ApiError(str(exc)) from exc
+        return {"ok": True, "think_time": manager.current_think_time()}
+
+    # -- feedback -------------------------------------------------------------
+
+    def status(self, tenant: str, now: Optional[float] = None,
+               window: float = 5.0) -> dict:
+        return self._manager(tenant).status(now, window)
+
+    def all_status(self, now: Optional[float] = None) -> dict:
+        return {tenant: manager.status(now)
+                for tenant, manager in sorted(self._workloads.items())}
+
+    def presets(self, tenant: str) -> dict:
+        return self._manager(tenant).benchmark.preset_mixtures()
+
+    def benchmarks(self) -> list[dict]:
+        """Paper Table 1, exposed so UIs can render the selection screen."""
+        return table1()

@@ -1,0 +1,146 @@
+"""HTTP/JSON server exposing the control facade as a REST API.
+
+Routes (all JSON):
+
+    GET  /benchmarks                      -> paper Table 1
+    GET  /status                          -> every tenant's status
+    GET  /workloads/<tenant>/status
+    GET  /workloads/<tenant>/presets
+    POST /workloads/<tenant>/rate         {"rate": 150 | "unlimited" | "disabled"}
+    POST /workloads/<tenant>/weights      {"weights": {"NewOrder": 45, ...}}
+    POST /workloads/<tenant>/preset       {"preset": "read-only"}
+    POST /workloads/<tenant>/think_time   {"seconds": 0.01}
+    POST /workloads/<tenant>/pause
+    POST /workloads/<tenant>/resume
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from ..errors import ApiError
+from .control import ControlApi
+
+
+class ApiServer:
+    """Runs the control API on a background HTTP server thread."""
+
+    def __init__(self, control: ControlApi, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.control = control
+        handler = _make_handler(control)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ApiServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="api-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+    def __enter__(self) -> "ApiServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+def _make_handler(control: ControlApi):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, *_args) -> None:  # silence stderr spam
+            pass
+
+        # -- helpers --------------------------------------------------
+
+        def _send(self, code: int, payload: object) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _read_body(self) -> dict:
+            length = int(self.headers.get("Content-Length", "0"))
+            if length == 0:
+                return {}
+            try:
+                return json.loads(self.rfile.read(length))
+            except json.JSONDecodeError:
+                raise ApiError("request body is not valid JSON") from None
+
+        def _route(self, method: str) -> None:
+            parts = [p for p in self.path.split("/") if p]
+            try:
+                payload = self._dispatch(method, parts)
+            except ApiError as exc:
+                self._send(400, {"ok": False, "error": str(exc)})
+            except Exception as exc:  # pragma: no cover - defensive
+                self._send(500, {"ok": False, "error": str(exc)})
+            else:
+                self._send(200, payload)
+
+        def _dispatch(self, method: str, parts: list[str]) -> object:
+            if method == "GET":
+                if parts == ["benchmarks"]:
+                    return control.benchmarks()
+                if parts == ["status"]:
+                    return control.all_status()
+                if parts == ["tenants"]:
+                    return control.tenants()
+                if (len(parts) == 3 and parts[0] == "workloads"
+                        and parts[2] == "status"):
+                    return control.status(parts[1])
+                if (len(parts) == 3 and parts[0] == "workloads"
+                        and parts[2] == "presets"):
+                    return control.presets(parts[1])
+                raise ApiError(f"unknown GET path {self.path!r}")
+            if method == "POST":
+                if len(parts) == 3 and parts[0] == "workloads":
+                    tenant, action = parts[1], parts[2]
+                    body = self._read_body()
+                    if action == "rate":
+                        return control.set_rate(tenant, body.get("rate"))
+                    if action == "weights":
+                        return control.set_weights(
+                            tenant, body.get("weights", {}))
+                    if action == "preset":
+                        return control.set_preset(
+                            tenant, body.get("preset", ""))
+                    if action == "think_time":
+                        return control.set_think_time(
+                            tenant, body.get("seconds", 0.0))
+                    if action == "pause":
+                        return control.pause(tenant)
+                    if action == "resume":
+                        return control.resume(tenant)
+                raise ApiError(f"unknown POST path {self.path!r}")
+            raise ApiError(f"unsupported method {method}")
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server naming
+            self._route("GET")
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._route("POST")
+
+    return Handler

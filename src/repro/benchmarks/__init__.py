@@ -1,0 +1,74 @@
+"""The 15 built-in benchmarks (paper Table 1) and their registry.
+
+    >>> from repro.benchmarks import create_benchmark
+    >>> from repro.engine import Database
+    >>> bench = create_benchmark("tpcc", Database(), scale_factor=1)
+    >>> bench.load()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+from ..engine.database import Database
+from ..errors import BenchmarkError
+from ..core.benchmark import BenchmarkModule
+from .auctionmark import AuctionMarkBenchmark
+from .chbenchmark import ChBenchmark
+from .epinions import EpinionsBenchmark
+from .jpab import JpabBenchmark
+from .linkbench import LinkBenchBenchmark
+from .resourcestresser import ResourceStresserBenchmark
+from .seats import SeatsBenchmark
+from .sibench import SiBenchmark
+from .smallbank import SmallBankBenchmark
+from .tatp import TatpBenchmark
+from .tpcc import TpccBenchmark
+from .twitter import TwitterBenchmark
+from .voter import VoterBenchmark
+from .wikipedia import WikipediaBenchmark
+from .ycsb import YcsbBenchmark
+
+#: Registry in paper Table 1 order (Transactional, Web-Oriented, Feature).
+REGISTRY: dict[str, Type[BenchmarkModule]] = {
+    cls.name: cls for cls in (
+        AuctionMarkBenchmark, ChBenchmark, SeatsBenchmark,
+        SmallBankBenchmark, TatpBenchmark, TpccBenchmark, VoterBenchmark,
+        EpinionsBenchmark, LinkBenchBenchmark, TwitterBenchmark,
+        WikipediaBenchmark,
+        ResourceStresserBenchmark, YcsbBenchmark, JpabBenchmark,
+        SiBenchmark,
+    )
+}
+
+
+def benchmark_names() -> list[str]:
+    """Registry keys in Table 1 order."""
+    return list(REGISTRY)
+
+
+def create_benchmark(name: str, database: Database,
+                     scale_factor: float = 1.0,
+                     seed: Optional[int] = None,
+                     **kwargs) -> BenchmarkModule:
+    """Instantiate (but do not load) a benchmark by registry name."""
+    try:
+        cls = REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(REGISTRY)
+        raise BenchmarkError(
+            f"unknown benchmark {name!r}; available: {known}") from None
+    return cls(database, scale_factor=scale_factor, seed=seed, **kwargs)
+
+
+def table1() -> list[dict[str, str]]:
+    """The rows of paper Table 1: class, benchmark, application domain."""
+    return [
+        {"class": cls.benchmark_class, "benchmark": cls.name,
+         "domain": cls.domain}
+        for cls in REGISTRY.values()
+    ]
+
+
+__all__ = ["REGISTRY", "benchmark_names", "create_benchmark", "table1",
+           "BenchmarkModule"]

@@ -1,0 +1,103 @@
+"""AuctionMark: on-line auction site workload (Transactional, Table 1)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from ...core.benchmark import BenchmarkModule, CLASS_TRANSACTIONAL
+from ...rand import ZipfGenerator, random_string
+from .procedures import PROCEDURES
+from .schema import (BIDS_PER_ITEM, CATEGORIES, DDL, ITEMS_PER_SF,
+                     ITEM_STATUS_CLOSED, ITEM_STATUS_OPEN,
+                     ITEM_STATUS_WAITING_FOR_PURCHASE, USERS_PER_SF)
+
+_REGIONS = ["Americas", "Europe", "Asia", "Africa", "Oceania"]
+
+
+class AuctionMarkBenchmark(BenchmarkModule):
+    """Auctions with sellers, bidders, comments, and purchases."""
+
+    name = "auctionmark"
+    domain = "On-line Auctions"
+    benchmark_class = CLASS_TRANSACTIONAL
+    procedures = PROCEDURES
+
+    def ddl(self):
+        return DDL
+
+    def load_data(self, rng: random.Random) -> None:
+        users = max(2, int(USERS_PER_SF * self.scale_factor))
+        items = max(2, int(ITEMS_PER_SF * self.scale_factor))
+
+        self.database.bulk_insert("region", list(enumerate(_REGIONS)))
+        self.database.bulk_insert("useracct", [
+            (u, rng.randint(0, 10_000), rng.uniform(0.0, 1000.0), 0.0,
+             rng.randrange(len(_REGIONS)))
+            for u in range(users)])
+        self.database.bulk_insert("category", [
+            (c, f"Category {c}", None if c < 5 else rng.randrange(5))
+            for c in range(CATEGORIES)])
+
+        bid_counter = itertools.count(1)
+        seller = ZipfGenerator(users, theta=0.8)
+        item_rows, bid_rows = [], []
+        # ~70% open, 10% waiting for purchase, 20% closed.
+        for i_id in range(items):
+            roll = rng.random()
+            if roll < 0.70:
+                status = ITEM_STATUS_OPEN
+            elif roll < 0.80:
+                status = ITEM_STATUS_WAITING_FOR_PURCHASE
+            else:
+                status = ITEM_STATUS_CLOSED
+            initial = rng.uniform(1.0, 500.0)
+            price = initial
+            num_bids = rng.randint(0, BIDS_PER_ITEM)
+            if status == ITEM_STATUS_WAITING_FOR_PURCHASE:
+                num_bids = max(1, num_bids)
+            for _ in range(num_bids):
+                price *= rng.uniform(1.01, 1.25)
+                bid_rows.append((
+                    next(bid_counter), i_id, rng.randrange(users), price,
+                    price * rng.uniform(1.0, 1.5), 0.0))
+            item_rows.append((
+                i_id, seller.next(rng), rng.randrange(CATEGORIES),
+                random_string(rng, 8, 64), random_string(rng, 32, 255),
+                initial, price, num_bids, 7 * 86400.0, status))
+            if len(item_rows) >= 1000:
+                self.database.bulk_insert("item", item_rows)
+                self.database.bulk_insert("item_bid", bid_rows)
+                item_rows, bid_rows = [], []
+        if item_rows:
+            self.database.bulk_insert("item", item_rows)
+        if bid_rows:
+            self.database.bulk_insert("item_bid", bid_rows)
+
+        self.params.update({
+            "user_count": users,
+            "item_count": items,
+            "category_count": CATEGORIES,
+            "item_id_counter": itertools.count(items),
+            "bid_id_counter": bid_counter,
+            "comment_id_counter": itertools.count(1),
+            "purchase_id_counter": itertools.count(1),
+        })
+
+    def _derive_params(self) -> None:
+        self.params["user_count"] = int(
+            self.scalar("SELECT COUNT(*) FROM useracct") or 0) or 2
+        self.params["item_count"] = int(
+            self.scalar("SELECT MAX(i_id) FROM item") or 0) + 1
+        self.params["category_count"] = int(
+            self.scalar("SELECT COUNT(*) FROM category") or 0) or 1
+        self.params["item_id_counter"] = itertools.count(
+            self.params["item_count"])
+        self.params["bid_id_counter"] = itertools.count(
+            int(self.scalar("SELECT MAX(ib_id) FROM item_bid") or 0) + 1)
+        self.params["comment_id_counter"] = itertools.count(
+            int(self.scalar(
+                "SELECT MAX(ic_id) FROM item_comment") or 0) + 1)
+        self.params["purchase_id_counter"] = itertools.count(
+            int(self.scalar(
+                "SELECT MAX(ip_id) FROM item_purchase") or 0) + 1)

@@ -1,0 +1,180 @@
+"""AuctionMark's seven core transactions."""
+
+from __future__ import annotations
+
+import random
+
+from ...core.procedure import Procedure, UserAbort
+from ...rand import random_string
+from .schema import (ITEM_STATUS_CLOSED, ITEM_STATUS_OPEN,
+                     ITEM_STATUS_WAITING_FOR_PURCHASE)
+
+
+class _AuctionProcedure(Procedure):
+
+    def _item(self, rng: random.Random) -> int:
+        return rng.randrange(int(self.params["item_count"]))
+
+    def _user(self, rng: random.Random) -> int:
+        return rng.randrange(int(self.params["user_count"]))
+
+    def _category(self, rng: random.Random) -> int:
+        return rng.randrange(int(self.params["category_count"]))
+
+
+class GetItem(_AuctionProcedure):
+    """Item page: listing plus its seller profile."""
+
+    name = "GetItem"
+    read_only = True
+    default_weight = 45
+
+    def run(self, conn, rng):
+        i_id = self._item(rng)
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT i.i_name, i.i_current_price, i.i_num_bids, i.i_status, "
+            "u.u_rating FROM item i JOIN useracct u ON u.u_id = i.i_u_id "
+            "WHERE i.i_id = ?", (i_id,))
+        row = cur.fetchone()
+        conn.commit()
+        return row
+
+
+class GetUserInfo(_AuctionProcedure):
+    """Seller profile: user row, their listings, and feedback comments."""
+
+    name = "GetUserInfo"
+    read_only = True
+    default_weight = 10
+
+    def run(self, conn, rng):
+        u_id = self._user(rng)
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT u_rating, u_balance, u_created FROM useracct "
+            "WHERE u_id = ?", (u_id,))
+        self.fetch_one(cur, "missing user")
+        cur.execute(
+            "SELECT i_id, i_name, i_current_price, i_status FROM item "
+            "WHERE i_u_id = ? LIMIT 25", (u_id,))
+        items = cur.fetchall()
+        conn.commit()
+        return items
+
+
+class NewBid(_AuctionProcedure):
+    """Place a bid; only higher bids on open items are accepted."""
+
+    name = "NewBid"
+    default_weight = 15
+
+    def run(self, conn, rng):
+        i_id = self._item(rng)
+        u_id = self._user(rng)
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT i_current_price, i_num_bids, i_status, i_u_id "
+            "FROM item WHERE i_id = ? FOR UPDATE", (i_id,))
+        price, num_bids, status, seller = self.fetch_one(
+            cur, "missing item")
+        if status != ITEM_STATUS_OPEN:
+            raise UserAbort("auction is not open")
+        if seller == u_id:
+            raise UserAbort("sellers cannot bid on their own items")
+        bid = price * rng.uniform(1.01, 1.25)
+        ib_id = next(self.params["bid_id_counter"])
+        cur.execute(
+            "INSERT INTO item_bid (ib_id, ib_i_id, ib_u_id, ib_bid, "
+            "ib_max_bid, ib_created) VALUES (?, ?, ?, ?, ?, ?)",
+            (ib_id, i_id, u_id, bid, bid * rng.uniform(1.0, 1.5), 0.0))
+        cur.execute(
+            "UPDATE item SET i_current_price = ?, i_num_bids = ? "
+            "WHERE i_id = ?", (bid, num_bids + 1, i_id))
+        conn.commit()
+        return ib_id
+
+
+class NewComment(_AuctionProcedure):
+    name = "NewComment"
+    default_weight = 2
+
+    def run(self, conn, rng):
+        ic_id = next(self.params["comment_id_counter"])
+        cur = conn.cursor()
+        cur.execute(
+            "INSERT INTO item_comment (ic_id, ic_i_id, ic_u_id, "
+            "ic_question, ic_response) VALUES (?, ?, ?, ?, ?)",
+            (ic_id, self._item(rng), self._user(rng),
+             random_string(rng, 16, 128), None))
+        conn.commit()
+
+
+class NewItem(_AuctionProcedure):
+    """List a new item for auction."""
+
+    name = "NewItem"
+    default_weight = 10
+
+    def run(self, conn, rng):
+        i_id = next(self.params["item_id_counter"])
+        price = rng.uniform(1.0, 500.0)
+        cur = conn.cursor()
+        cur.execute(
+            "INSERT INTO item (i_id, i_u_id, i_c_id, i_name, "
+            "i_description, i_initial_price, i_current_price, i_num_bids, "
+            "i_end_date, i_status) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (i_id, self._user(rng), self._category(rng),
+             random_string(rng, 8, 64), random_string(rng, 32, 255),
+             price, price, 0, 7 * 86400.0, ITEM_STATUS_OPEN))
+        conn.commit()
+        return i_id
+
+
+class NewPurchase(_AuctionProcedure):
+    """Buyer completes a won auction (waiting-for-purchase -> closed)."""
+
+    name = "NewPurchase"
+    default_weight = 3
+
+    def run(self, conn, rng):
+        i_id = self._item(rng)
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT i_status, i_num_bids FROM item WHERE i_id = ? "
+            "FOR UPDATE", (i_id,))
+        status, num_bids = self.fetch_one(cur, "missing item")
+        if status != ITEM_STATUS_WAITING_FOR_PURCHASE or num_bids == 0:
+            raise UserAbort("item is not awaiting purchase")
+        cur.execute(
+            "SELECT ib_id FROM item_bid WHERE ib_i_id = ? "
+            "ORDER BY ib_bid DESC LIMIT 1", (i_id,))
+        winning = self.fetch_one(cur, "no winning bid")[0]
+        ip_id = next(self.params["purchase_id_counter"])
+        cur.execute(
+            "INSERT INTO item_purchase (ip_id, ip_ib_id, ip_i_id, ip_date) "
+            "VALUES (?, ?, ?, ?)", (ip_id, winning, i_id, 0.0))
+        cur.execute("UPDATE item SET i_status = ? WHERE i_id = ?",
+                    (ITEM_STATUS_CLOSED, i_id))
+        conn.commit()
+        return ip_id
+
+
+class UpdateItem(_AuctionProcedure):
+    """Seller edits an open listing's description."""
+
+    name = "UpdateItem"
+    default_weight = 15
+
+    def run(self, conn, rng):
+        cur = conn.cursor()
+        cur.execute(
+            "UPDATE item SET i_description = ? "
+            "WHERE i_id = ? AND i_status = ?",
+            (random_string(rng, 32, 255), self._item(rng),
+             ITEM_STATUS_OPEN))
+        conn.commit()
+
+
+PROCEDURES = (GetItem, GetUserInfo, NewBid, NewComment, NewItem,
+              NewPurchase, UpdateItem)

@@ -1,0 +1,83 @@
+"""AuctionMark schema: the core tables of the on-line auction benchmark."""
+
+USERS_PER_SF = 200
+ITEMS_PER_SF = 100
+CATEGORIES = 20
+BIDS_PER_ITEM = 5
+
+ITEM_STATUS_OPEN = 0
+ITEM_STATUS_ENDING_SOON = 1
+ITEM_STATUS_WAITING_FOR_PURCHASE = 2
+ITEM_STATUS_CLOSED = 3
+
+DDL = [
+    """
+    CREATE TABLE region (
+        r_id   INT PRIMARY KEY,
+        r_name VARCHAR(32) NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE useracct (
+        u_id      BIGINT PRIMARY KEY,
+        u_rating  INT NOT NULL,
+        u_balance FLOAT NOT NULL,
+        u_created TIMESTAMP NOT NULL,
+        u_r_id    INT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE category (
+        c_id        INT PRIMARY KEY,
+        c_name      VARCHAR(50) NOT NULL,
+        c_parent_id INT
+    )
+    """,
+    """
+    CREATE TABLE item (
+        i_id            BIGINT PRIMARY KEY,
+        i_u_id          BIGINT NOT NULL,
+        i_c_id          INT NOT NULL,
+        i_name          VARCHAR(100) NOT NULL,
+        i_description   VARCHAR(255) NOT NULL,
+        i_initial_price FLOAT NOT NULL,
+        i_current_price FLOAT NOT NULL,
+        i_num_bids      INT NOT NULL,
+        i_end_date      TIMESTAMP NOT NULL,
+        i_status        INT NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_item_seller ON item (i_u_id)",
+    "CREATE INDEX idx_item_category ON item (i_c_id)",
+    """
+    CREATE TABLE item_bid (
+        ib_id      BIGINT PRIMARY KEY,
+        ib_i_id    BIGINT NOT NULL,
+        ib_u_id    BIGINT NOT NULL,
+        ib_bid     FLOAT NOT NULL,
+        ib_max_bid FLOAT NOT NULL,
+        ib_created TIMESTAMP NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_item_bid_item ON item_bid (ib_i_id)",
+    "CREATE INDEX idx_item_bid_user ON item_bid (ib_u_id)",
+    """
+    CREATE TABLE item_comment (
+        ic_id       BIGINT PRIMARY KEY,
+        ic_i_id     BIGINT NOT NULL,
+        ic_u_id     BIGINT NOT NULL,
+        ic_question VARCHAR(128) NOT NULL,
+        ic_response VARCHAR(128)
+    )
+    """,
+    "CREATE INDEX idx_item_comment_item ON item_comment (ic_i_id)",
+    """
+    CREATE TABLE item_purchase (
+        ip_id    BIGINT PRIMARY KEY,
+        ip_ib_id BIGINT NOT NULL,
+        ip_i_id  BIGINT NOT NULL,
+        ip_date  TIMESTAMP NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_item_purchase_item ON item_purchase (ip_i_id)",
+]

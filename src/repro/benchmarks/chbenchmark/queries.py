@@ -1,0 +1,117 @@
+"""CH-benCHmark analytical queries, adapted to the engine's SQL subset.
+
+The CH-benCHmark layers TPC-H-style analytical queries over the live TPC-C
+schema.  Five representative queries are implemented (Q1, Q4, Q6, Q12, Q14
+in the CH numbering); each runs read-only against whatever state the
+concurrent transactional stream has produced — the defining property of the
+"mixed OLTP and OLAP" workload class.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...core.procedure import Procedure
+
+
+class _ChQuery(Procedure):
+    read_only = True
+
+
+class Query1(_ChQuery):
+    """Pricing summary per order-line number (CH Q1)."""
+
+    name = "Query1"
+    default_weight = 2
+
+    def run(self, conn, rng: random.Random):
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT ol_number, SUM(ol_quantity) AS sum_qty, "
+            "SUM(ol_amount) AS sum_amount, AVG(ol_quantity) AS avg_qty, "
+            "AVG(ol_amount) AS avg_amount, COUNT(*) AS count_order "
+            "FROM order_line WHERE ol_delivery_d IS NOT NULL "
+            "GROUP BY ol_number ORDER BY ol_number")
+        rows = cur.fetchall()
+        conn.commit()
+        return rows
+
+
+class Query4(_ChQuery):
+    """Order-priority checking: delivered orders per line count (CH Q4)."""
+
+    name = "Query4"
+    default_weight = 2
+
+    def run(self, conn, rng: random.Random):
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT o_ol_cnt, COUNT(*) FROM oorder "
+            "WHERE o_carrier_id IS NOT NULL "
+            "GROUP BY o_ol_cnt ORDER BY o_ol_cnt")
+        rows = cur.fetchall()
+        conn.commit()
+        return rows
+
+
+class Query6(_ChQuery):
+    """Forecast revenue change (CH Q6)."""
+
+    name = "Query6"
+    default_weight = 2
+
+    def run(self, conn, rng: random.Random):
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT SUM(ol_amount) AS revenue FROM order_line "
+            "WHERE ol_delivery_d IS NOT NULL "
+            "AND ol_quantity BETWEEN 1 AND 100000")
+        revenue = cur.fetchone()[0]
+        conn.commit()
+        return revenue
+
+
+class Query12(_ChQuery):
+    """Shipping-mode / priority split with CASE aggregation (CH Q12)."""
+
+    name = "Query12"
+    default_weight = 2
+
+    def run(self, conn, rng: random.Random):
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT o.o_ol_cnt, "
+            "SUM(CASE WHEN o.o_carrier_id = 1 OR o.o_carrier_id = 2 "
+            "    THEN 1 ELSE 0 END) AS high_line, "
+            "SUM(CASE WHEN o.o_carrier_id <> 1 AND o.o_carrier_id <> 2 "
+            "    THEN 1 ELSE 0 END) AS low_line "
+            "FROM oorder o JOIN order_line ol "
+            "  ON ol.ol_w_id = o.o_w_id AND ol.ol_d_id = o.o_d_id "
+            " AND ol.ol_o_id = o.o_id "
+            "WHERE o.o_carrier_id IS NOT NULL "
+            "  AND ol.ol_delivery_d IS NOT NULL "
+            "GROUP BY o.o_ol_cnt ORDER BY o.o_ol_cnt")
+        rows = cur.fetchall()
+        conn.commit()
+        return rows
+
+
+class Query14(_ChQuery):
+    """Promotion effect: revenue share of promotional items (CH Q14)."""
+
+    name = "Query14"
+    default_weight = 2
+
+    def run(self, conn, rng: random.Random):
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT 100.0 * SUM(CASE WHEN i.i_data LIKE '%ORIGINAL%' "
+            "THEN ol.ol_amount ELSE 0 END) / (1.0 + SUM(ol.ol_amount)) "
+            "FROM order_line ol JOIN item i ON i.i_id = ol.ol_i_id "
+            "WHERE ol.ol_delivery_d IS NOT NULL")
+        share = cur.fetchone()[0]
+        conn.commit()
+        return share
+
+
+QUERIES = (Query1, Query4, Query6, Query12, Query14)

@@ -1,0 +1,80 @@
+"""Epinions: consumer-review social network (Web-Oriented, paper Table 1).
+
+The workload walks the who-trusts-whom graph: review lookups filtered by
+trusted users dominate, with occasional profile/title/rating updates.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from ...core.benchmark import BenchmarkModule, CLASS_WEB
+from ...rand import ZipfGenerator, random_string
+from .procedures import PROCEDURES
+from .schema import (DDL, ITEMS_PER_SF, REVIEWS_PER_ITEM, TRUST_PER_USER,
+                     USERS_PER_SF)
+
+
+class EpinionsBenchmark(BenchmarkModule):
+    """Social review site with Zipf-skewed item popularity."""
+
+    name = "epinions"
+    domain = "Social Networking"
+    benchmark_class = CLASS_WEB
+    procedures = PROCEDURES
+
+    def ddl(self):
+        return DDL
+
+    def load_data(self, rng: random.Random) -> None:
+        users = max(2, int(USERS_PER_SF * self.scale_factor))
+        items = max(2, int(ITEMS_PER_SF * self.scale_factor))
+        self.database.bulk_insert("useracct", [
+            (u, random_string(rng, 8, 16)) for u in range(users)])
+        self.database.bulk_insert("item", [
+            (i, random_string(rng, 8, 32)) for i in range(items)])
+
+        # Reviews: popular items accumulate more reviews (Zipf over items);
+        # each (item, user) pair reviews at most once.
+        review_id = itertools.count()
+        item_zipf = ZipfGenerator(items, theta=0.8)
+        reviews = []
+        seen: set[tuple[int, int]] = set()
+        for _ in range(items * REVIEWS_PER_ITEM):
+            i_id = item_zipf.next(rng)
+            u_id = rng.randrange(users)
+            if (i_id, u_id) in seen:
+                continue
+            seen.add((i_id, u_id))
+            reviews.append((next(review_id), u_id, i_id,
+                            rng.randint(0, 5), rng.randint(0, 100)))
+            if len(reviews) >= 2000:
+                self.database.bulk_insert("review", reviews)
+                reviews = []
+        if reviews:
+            self.database.bulk_insert("review", reviews)
+
+        trust_rows = []
+        seen_trust: set[tuple[int, int]] = set()
+        for source in range(users):
+            for _ in range(rng.randint(0, TRUST_PER_USER)):
+                target = rng.randrange(users)
+                if target == source or (source, target) in seen_trust:
+                    continue
+                seen_trust.add((source, target))
+                trust_rows.append((source, target, rng.randint(0, 1), 0.0))
+            if len(trust_rows) >= 2000:
+                self.database.bulk_insert("trust", trust_rows)
+                trust_rows = []
+        if trust_rows:
+            self.database.bulk_insert("trust", trust_rows)
+
+        self.params["user_count"] = users
+        self.params["item_count"] = items
+
+    def _derive_params(self) -> None:
+        self.params["user_count"] = int(
+            self.scalar("SELECT COUNT(*) FROM useracct") or 0) or 2
+        self.params["item_count"] = int(
+            self.scalar("SELECT COUNT(*) FROM item") or 0) or 2

@@ -1,0 +1,171 @@
+"""Epinions' nine transactions over the user/item/review/trust graph."""
+
+from __future__ import annotations
+
+import random
+
+from ...core.procedure import Procedure, UserAbort
+from ...rand import random_string
+
+
+class _EpinionsProcedure(Procedure):
+
+    def _user(self, rng: random.Random) -> int:
+        return rng.randrange(int(self.params["user_count"]))
+
+    def _item(self, rng: random.Random) -> int:
+        return rng.randrange(int(self.params["item_count"]))
+
+
+class GetReviewItemById(_EpinionsProcedure):
+    """Item page: the item row and its reviews."""
+
+    name = "GetReviewItemById"
+    read_only = True
+    default_weight = 10
+
+    def run(self, conn, rng):
+        i_id = self._item(rng)
+        cur = conn.cursor()
+        cur.execute("SELECT title FROM item WHERE i_id = ?", (i_id,))
+        cur.fetchall()
+        cur.execute(
+            "SELECT a_id, u_id, rating FROM review WHERE i_id = ? "
+            "ORDER BY rating DESC", (i_id,))
+        reviews = cur.fetchall()
+        conn.commit()
+        return reviews
+
+
+class GetReviewsByUser(_EpinionsProcedure):
+    name = "GetReviewsByUser"
+    read_only = True
+    default_weight = 10
+
+    def run(self, conn, rng):
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT a_id, i_id, rating FROM review WHERE u_id = ?",
+            (self._user(rng),))
+        rows = cur.fetchall()
+        conn.commit()
+        return rows
+
+
+class GetAverageRatingByTrustedUser(_EpinionsProcedure):
+    """Average rating of an item among reviewers the user trusts."""
+
+    name = "GetAverageRatingByTrustedUser"
+    read_only = True
+    default_weight = 10
+
+    def run(self, conn, rng):
+        u_id = self._user(rng)
+        i_id = self._item(rng)
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT AVG(r.rating) FROM review r JOIN trust t "
+            "  ON r.u_id = t.target_u_id "
+            "WHERE t.source_u_id = ? AND r.i_id = ?", (u_id, i_id))
+        avg = cur.fetchone()[0]
+        conn.commit()
+        return avg
+
+
+class GetItemAverageRating(_EpinionsProcedure):
+    name = "GetItemAverageRating"
+    read_only = True
+    default_weight = 10
+
+    def run(self, conn, rng):
+        cur = conn.cursor()
+        cur.execute("SELECT AVG(rating) FROM review WHERE i_id = ?",
+                    (self._item(rng),))
+        avg = cur.fetchone()[0]
+        conn.commit()
+        return avg
+
+
+class GetItemReviewsByTrustedUser(_EpinionsProcedure):
+    name = "GetItemReviewsByTrustedUser"
+    read_only = True
+    default_weight = 10
+
+    def run(self, conn, rng):
+        u_id = self._user(rng)
+        i_id = self._item(rng)
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT r.a_id, r.rating, t.trust "
+            "FROM review r JOIN trust t ON r.u_id = t.target_u_id "
+            "WHERE r.i_id = ? AND t.source_u_id = ?", (i_id, u_id))
+        rows = cur.fetchall()
+        conn.commit()
+        return rows
+
+
+class UpdateUserName(_EpinionsProcedure):
+    name = "UpdateUserName"
+    default_weight = 5
+
+    def run(self, conn, rng):
+        cur = conn.cursor()
+        cur.execute("UPDATE useracct SET name = ? WHERE u_id = ?",
+                    (random_string(rng, 8, 16), self._user(rng)))
+        if cur.rowcount == 0:
+            raise UserAbort("missing user")
+        conn.commit()
+
+
+class UpdateItemTitle(_EpinionsProcedure):
+    name = "UpdateItemTitle"
+    default_weight = 5
+
+    def run(self, conn, rng):
+        cur = conn.cursor()
+        cur.execute("UPDATE item SET title = ? WHERE i_id = ?",
+                    (random_string(rng, 8, 32), self._item(rng)))
+        if cur.rowcount == 0:
+            raise UserAbort("missing item")
+        conn.commit()
+
+
+class UpdateReviewRating(_EpinionsProcedure):
+    name = "UpdateReviewRating"
+    default_weight = 35
+
+    def run(self, conn, rng):
+        i_id = self._item(rng)
+        rating = rng.randint(0, 5)
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT a_id FROM review WHERE i_id = ? AND u_id = ?",
+            (i_id, self._user(rng)))
+        row = cur.fetchone()
+        if row is None:
+            conn.commit()  # nothing to update: a no-op page interaction
+            return
+        cur.execute("UPDATE review SET rating = ? WHERE a_id = ?",
+                    (rating, row[0]))
+        conn.commit()
+
+
+class UpdateTrustRating(_EpinionsProcedure):
+    name = "UpdateTrustRating"
+    default_weight = 5
+
+    def run(self, conn, rng):
+        source = self._user(rng)
+        target = self._user(rng)
+        cur = conn.cursor()
+        cur.execute(
+            "UPDATE trust SET trust = ? "
+            "WHERE source_u_id = ? AND target_u_id = ?",
+            (rng.randint(0, 1), source, target))
+        conn.commit()
+
+
+PROCEDURES = (GetReviewItemById, GetReviewsByUser,
+              GetAverageRatingByTrustedUser, GetItemAverageRating,
+              GetItemReviewsByTrustedUser, UpdateUserName, UpdateItemTitle,
+              UpdateReviewRating, UpdateTrustRating)

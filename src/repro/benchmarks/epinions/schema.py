@@ -1,0 +1,43 @@
+"""Epinions schema: users, items, reviews, and the who-trusts-whom graph."""
+
+USERS_PER_SF = 200
+ITEMS_PER_SF = 100
+REVIEWS_PER_ITEM = 10
+TRUST_PER_USER = 10
+
+DDL = [
+    """
+    CREATE TABLE useracct (
+        u_id BIGINT PRIMARY KEY,
+        name VARCHAR(128) NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE item (
+        i_id  BIGINT PRIMARY KEY,
+        title VARCHAR(128) NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE review (
+        a_id   BIGINT PRIMARY KEY,
+        u_id   BIGINT NOT NULL,
+        i_id   BIGINT NOT NULL,
+        rating INT NOT NULL,
+        rank   INT NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_review_user ON review (u_id)",
+    "CREATE INDEX idx_review_item ON review (i_id)",
+    "CREATE INDEX idx_review_item_user ON review (i_id, u_id)",
+    """
+    CREATE TABLE trust (
+        source_u_id   BIGINT NOT NULL,
+        target_u_id   BIGINT NOT NULL,
+        trust         INT NOT NULL,
+        creation_date TIMESTAMP NOT NULL,
+        PRIMARY KEY (source_u_id, target_u_id)
+    )
+    """,
+    "CREATE INDEX idx_trust_source ON trust (source_u_id)",
+]

@@ -1,0 +1,149 @@
+"""JPAB: the JPA Performance Benchmark (Feature Testing, Table 1).
+
+Exercises an ORM persistence layer — entity CRUD through an entity manager
+with identity map and optimistic versioning — rather than hand-written SQL.
+The four procedures mirror JPAB's "basic test" operations.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from ...core.benchmark import BenchmarkModule, CLASS_FEATURE
+from ...core.procedure import Procedure, UserAbort
+from ...rand import random_string
+from .orm import Employee, EntityManager
+
+EMPLOYEES_PER_SF = 500
+BATCH_SIZE = 5
+
+DDL = [
+    """
+    CREATE TABLE jpab_employee (
+        id         BIGINT PRIMARY KEY,
+        version    INT NOT NULL,
+        first_name VARCHAR(32) NOT NULL,
+        last_name  VARCHAR(32) NOT NULL,
+        street     VARCHAR(64) NOT NULL,
+        city       VARCHAR(32) NOT NULL,
+        salary     FLOAT NOT NULL
+    )
+    """,
+]
+
+
+def _random_employee(rng: random.Random, employee_id: int) -> Employee:
+    return Employee(
+        id=employee_id, version=0,
+        first_name=random_string(rng, 4, 12),
+        last_name=random_string(rng, 4, 16),
+        street=random_string(rng, 12, 32),
+        city=random_string(rng, 4, 16),
+        salary=rng.uniform(30_000, 150_000))
+
+
+class _JpabProcedure(Procedure):
+
+    def _existing_id(self, rng: random.Random) -> int:
+        return rng.randrange(int(self.params["employee_count"]))
+
+
+class PersistTest(_JpabProcedure):
+    """Persist a small batch of new entities."""
+
+    name = "PersistTest"
+    default_weight = 25
+
+    def run(self, conn, rng):
+        em = EntityManager(conn)
+        for _ in range(BATCH_SIZE):
+            em.persist(_random_employee(
+                rng, next(self.params["employee_id_counter"])))
+        em.commit()
+
+
+class RetrieveTest(_JpabProcedure):
+    """Find entities by id; repeated finds hit the identity map."""
+
+    name = "RetrieveTest"
+    read_only = True
+    default_weight = 25
+
+    def run(self, conn, rng):
+        em = EntityManager(conn)
+        found = 0
+        for _ in range(BATCH_SIZE):
+            entity_id = self._existing_id(rng)
+            if em.find(Employee, entity_id) is not None:
+                # Second find must be served by the persistence context.
+                em.find(Employee, entity_id)
+                found += 1
+        em.commit()
+        return found
+
+
+class UpdateTest(_JpabProcedure):
+    """Find-then-merge with optimistic version increment."""
+
+    name = "UpdateTest"
+    default_weight = 25
+
+    def run(self, conn, rng):
+        em = EntityManager(conn)
+        for _ in range(BATCH_SIZE):
+            entity = em.find(Employee, self._existing_id(rng))
+            if entity is None:
+                continue
+            entity.salary *= rng.uniform(0.95, 1.10)
+            entity.city = random_string(rng, 4, 16)
+            em.merge(entity)
+        em.commit()
+
+
+class DeleteTest(_JpabProcedure):
+    """Remove entities from the tail of the persisted range."""
+
+    name = "DeleteTest"
+    default_weight = 25
+
+    def run(self, conn, rng):
+        em = EntityManager(conn)
+        removed = 0
+        for _ in range(BATCH_SIZE):
+            entity = em.find(Employee, self._existing_id(rng))
+            if entity is not None:
+                em.remove(entity)
+                removed += 1
+        em.commit()
+        return removed
+
+
+class JpabBenchmark(BenchmarkModule):
+    """ORM CRUD workload through the mini entity manager."""
+
+    name = "jpab"
+    domain = "Object-Relational Mapping"
+    benchmark_class = CLASS_FEATURE
+    procedures = (PersistTest, RetrieveTest, UpdateTest, DeleteTest)
+
+    def ddl(self):
+        return DDL
+
+    def load_data(self, rng: random.Random) -> None:
+        count = max(1, int(EMPLOYEES_PER_SF * self.scale_factor))
+        rows = []
+        for employee_id in range(count):
+            employee = _random_employee(rng, employee_id)
+            rows.append((employee.id, employee.version, employee.first_name,
+                         employee.last_name, employee.street, employee.city,
+                         employee.salary))
+        self.database.bulk_insert("jpab_employee", rows)
+        self.params["employee_count"] = count
+        self.params["employee_id_counter"] = itertools.count(count)
+
+    def _derive_params(self) -> None:
+        next_id = int(self.scalar(
+            "SELECT MAX(id) FROM jpab_employee") or 0) + 1
+        self.params["employee_count"] = next_id
+        self.params["employee_id_counter"] = itertools.count(next_id)

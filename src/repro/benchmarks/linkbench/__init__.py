@@ -1,0 +1,87 @@
+"""LinkBench: Facebook's social-graph workload (Web-Oriented, Table 1).
+
+The count table is denormalised: ``counttable.count`` must always equal the
+number of *visible* links with that (id1, link_type) — the invariant the
+test suite verifies after concurrent runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from ...core.benchmark import BenchmarkModule, CLASS_WEB
+from ...rand import ZipfGenerator, random_string
+from .procedures import PROCEDURES
+from .schema import (DDL, LINKS_PER_NODE, LINK_TYPE_COUNT, NODES_PER_SF,
+                     VISIBILITY_DEFAULT)
+
+
+class LinkBenchBenchmark(BenchmarkModule):
+    """Graph store workload: nodes, typed links, and link counts."""
+
+    name = "linkbench"
+    domain = "Social Networking"
+    benchmark_class = CLASS_WEB
+    procedures = PROCEDURES
+
+    def ddl(self):
+        return DDL
+
+    def load_data(self, rng: random.Random) -> None:
+        nodes = max(2, int(NODES_PER_SF * self.scale_factor))
+        self.database.bulk_insert("nodetable", [
+            (node_id, rng.randint(0, 4), 0, 0, random_string(rng, 32, 255))
+            for node_id in range(nodes)])
+
+        target = ZipfGenerator(nodes, theta=0.85)
+        links: set[tuple[int, int, int]] = set()
+        for id1 in range(nodes):
+            for _ in range(rng.randint(0, LINKS_PER_NODE)):
+                id2 = target.next(rng)
+                if id2 != id1:
+                    links.add((id1, id2, rng.randrange(LINK_TYPE_COUNT)))
+
+        counts: dict[tuple[int, int], int] = {}
+        link_rows = []
+        for id1, id2, link_type in sorted(links):
+            link_rows.append((id1, id2, link_type, VISIBILITY_DEFAULT,
+                              random_string(rng, 16, 255), 0, 0))
+            counts[(id1, link_type)] = counts.get((id1, link_type), 0) + 1
+            if len(link_rows) >= 2000:
+                self.database.bulk_insert("linktable", link_rows)
+                link_rows = []
+        if link_rows:
+            self.database.bulk_insert("linktable", link_rows)
+        self.database.bulk_insert("counttable", [
+            (id1, link_type, count, 0, 0)
+            for (id1, link_type), count in sorted(counts.items())])
+
+        self.params["node_count"] = nodes
+        self.params["node_id_counter"] = itertools.count(nodes)
+
+    def check_count_invariant(self) -> bool:
+        """counttable.count equals the number of visible links per key."""
+        txn = self.database.begin()
+        try:
+            result = self.database.execute(
+                txn,
+                "SELECT id1, link_type, COUNT(*) FROM linktable "
+                "WHERE visibility = 1 GROUP BY id1, link_type")
+            actual = {(r[0], r[1]): r[2] for r in result.rows}
+            result = self.database.execute(
+                txn, "SELECT id, link_type, count FROM counttable")
+            for id1, link_type, count in result.rows:
+                if actual.get((id1, link_type), 0) != count:
+                    return False
+            # Every visible link key must be represented in the counts.
+            counted = {(r[0], r[1]) for r in result.rows}
+            return all(key in counted for key in actual)
+        finally:
+            self.database.rollback(txn)
+
+    def _derive_params(self) -> None:
+        self.params["node_count"] = int(
+            self.scalar("SELECT COUNT(*) FROM nodetable") or 0) or 2
+        self.params["node_id_counter"] = itertools.count(
+            int(self.scalar("SELECT MAX(id) FROM nodetable") or 0) + 1)

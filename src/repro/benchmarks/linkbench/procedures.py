@@ -1,0 +1,224 @@
+"""LinkBench's node and link operations with the published default mix."""
+
+from __future__ import annotations
+
+import random
+
+from ...core.procedure import Procedure, UserAbort
+from ...rand import ZipfGenerator, random_string
+from .schema import LINK_TYPE_COUNT, VISIBILITY_DEFAULT, VISIBILITY_HIDDEN
+
+
+class _LinkBenchProcedure(Procedure):
+
+    def _node_zipf(self) -> ZipfGenerator:
+        cache = self.params.setdefault("_zipf_cache", {})
+        count = int(self.params["node_count"])
+        zipf = cache.get(count)
+        if zipf is None:
+            zipf = ZipfGenerator(count, theta=0.85)
+            cache[count] = zipf
+        return zipf
+
+    def _pick_node(self, rng: random.Random) -> int:
+        return self._node_zipf().next(rng)
+
+    def _link_type(self, rng: random.Random) -> int:
+        return rng.randrange(LINK_TYPE_COUNT)
+
+    @staticmethod
+    def _bump_count(cur, id1: int, link_type: int, delta: int) -> None:
+        cur.execute(
+            "UPDATE counttable SET count = count + ?, version = version + 1 "
+            "WHERE id = ? AND link_type = ?", (delta, id1, link_type))
+        if cur.rowcount == 0:
+            cur.execute(
+                "INSERT INTO counttable (id, link_type, count, time, "
+                "version) VALUES (?, ?, ?, ?, ?)",
+                (id1, link_type, max(0, delta), 0, 0))
+
+
+class GetNode(_LinkBenchProcedure):
+    name = "GetNode"
+    read_only = True
+    default_weight = 13
+
+    def run(self, conn, rng):
+        cur = conn.cursor()
+        cur.execute("SELECT id, type, version, data FROM nodetable "
+                    "WHERE id = ?", (self._pick_node(rng),))
+        row = cur.fetchone()
+        conn.commit()
+        return row
+
+
+class AddNode(_LinkBenchProcedure):
+    name = "AddNode"
+    default_weight = 3
+
+    def run(self, conn, rng):
+        node_id = next(self.params["node_id_counter"])
+        cur = conn.cursor()
+        cur.execute(
+            "INSERT INTO nodetable (id, type, version, time, data) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (node_id, rng.randint(0, 4), 0, 0,
+             random_string(rng, 32, 255)))
+        conn.commit()
+        return node_id
+
+
+class UpdateNode(_LinkBenchProcedure):
+    name = "UpdateNode"
+    default_weight = 7
+
+    def run(self, conn, rng):
+        cur = conn.cursor()
+        cur.execute(
+            "UPDATE nodetable SET version = version + 1, data = ? "
+            "WHERE id = ?",
+            (random_string(rng, 32, 255), self._pick_node(rng)))
+        if cur.rowcount == 0:
+            raise UserAbort("node missing")
+        conn.commit()
+
+
+class DeleteNode(_LinkBenchProcedure):
+    """Insert a throwaway node and delete it: exercises the delete path
+    without shrinking the base graph other workers depend on."""
+
+    name = "DeleteNode"
+    default_weight = 1
+
+    def run(self, conn, rng):
+        node_id = next(self.params["node_id_counter"])
+        cur = conn.cursor()
+        cur.execute(
+            "INSERT INTO nodetable (id, type, version, time, data) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (node_id, 0, 0, 0, random_string(rng, 16, 64)))
+        cur.execute("DELETE FROM nodetable WHERE id = ?", (node_id,))
+        if cur.rowcount != 1:
+            raise UserAbort("tail node vanished")
+        conn.commit()
+
+
+class GetLink(_LinkBenchProcedure):
+    name = "GetLink"
+    read_only = True
+    default_weight = 2
+
+    def run(self, conn, rng):
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT id1, id2, link_type, visibility FROM linktable "
+            "WHERE id1 = ? AND id2 = ? AND link_type = ?",
+            (self._pick_node(rng), self._pick_node(rng),
+             self._link_type(rng)))
+        row = cur.fetchone()
+        conn.commit()
+        return row
+
+
+class GetLinkList(_LinkBenchProcedure):
+    """The dominant operation: a node's outgoing links of one type."""
+
+    name = "GetLinkList"
+    read_only = True
+    default_weight = 50
+
+    def run(self, conn, rng):
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT id2, time, data FROM linktable "
+            "WHERE id1 = ? AND link_type = ? AND visibility = ? "
+            "ORDER BY time DESC LIMIT 50",
+            (self._pick_node(rng), self._link_type(rng),
+             VISIBILITY_DEFAULT))
+        rows = cur.fetchall()
+        conn.commit()
+        return rows
+
+
+class CountLink(_LinkBenchProcedure):
+    name = "CountLink"
+    read_only = True
+    default_weight = 5
+
+    def run(self, conn, rng):
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT count FROM counttable WHERE id = ? AND link_type = ?",
+            (self._pick_node(rng), self._link_type(rng)))
+        row = cur.fetchone()
+        conn.commit()
+        return row[0] if row else 0
+
+
+class AddLink(_LinkBenchProcedure):
+    name = "AddLink"
+    default_weight = 9
+
+    def run(self, conn, rng):
+        id1 = self._pick_node(rng)
+        id2 = self._pick_node(rng)
+        link_type = self._link_type(rng)
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT visibility FROM linktable "
+            "WHERE id1 = ? AND id2 = ? AND link_type = ? FOR UPDATE",
+            (id1, id2, link_type))
+        existing = cur.fetchone()
+        if existing is None:
+            cur.execute(
+                "INSERT INTO linktable (id1, id2, link_type, visibility, "
+                "data, time, version) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (id1, id2, link_type, VISIBILITY_DEFAULT,
+                 random_string(rng, 16, 255), 0, 0))
+            self._bump_count(cur, id1, link_type, 1)
+        elif existing[0] == VISIBILITY_HIDDEN:
+            cur.execute(
+                "UPDATE linktable SET visibility = ?, version = version + 1 "
+                "WHERE id1 = ? AND id2 = ? AND link_type = ?",
+                (VISIBILITY_DEFAULT, id1, id2, link_type))
+            self._bump_count(cur, id1, link_type, 1)
+        conn.commit()
+
+
+class DeleteLink(_LinkBenchProcedure):
+    """LinkBench deletes hide the link rather than removing the row."""
+
+    name = "DeleteLink"
+    default_weight = 3
+
+    def run(self, conn, rng):
+        id1 = self._pick_node(rng)
+        id2 = self._pick_node(rng)
+        link_type = self._link_type(rng)
+        cur = conn.cursor()
+        cur.execute(
+            "UPDATE linktable SET visibility = ?, version = version + 1 "
+            "WHERE id1 = ? AND id2 = ? AND link_type = ? "
+            "AND visibility = ?",
+            (VISIBILITY_HIDDEN, id1, id2, link_type, VISIBILITY_DEFAULT))
+        if cur.rowcount:
+            self._bump_count(cur, id1, link_type, -1)
+        conn.commit()
+
+
+class UpdateLink(_LinkBenchProcedure):
+    name = "UpdateLink"
+    default_weight = 7
+
+    def run(self, conn, rng):
+        cur = conn.cursor()
+        cur.execute(
+            "UPDATE linktable SET data = ?, version = version + 1, "
+            "time = time + 1 WHERE id1 = ? AND id2 = ? AND link_type = ?",
+            (random_string(rng, 16, 255), self._pick_node(rng),
+             self._pick_node(rng), self._link_type(rng)))
+        conn.commit()
+
+
+PROCEDURES = (AddLink, AddNode, CountLink, DeleteLink, DeleteNode, GetLink,
+              GetLinkList, GetNode, UpdateLink, UpdateNode)

@@ -1,0 +1,44 @@
+"""LinkBench schema: Facebook's social-graph storage benchmark."""
+
+NODES_PER_SF = 500
+LINKS_PER_NODE = 5
+
+VISIBILITY_DEFAULT = 1
+VISIBILITY_HIDDEN = 0
+
+LINK_TYPE_COUNT = 3
+
+DDL = [
+    """
+    CREATE TABLE nodetable (
+        id      BIGINT PRIMARY KEY,
+        type    INT NOT NULL,
+        version BIGINT NOT NULL,
+        time    INT NOT NULL,
+        data    VARCHAR(255) NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE linktable (
+        id1        BIGINT NOT NULL,
+        id2        BIGINT NOT NULL,
+        link_type  BIGINT NOT NULL,
+        visibility TINYINT NOT NULL,
+        data       VARCHAR(255) NOT NULL,
+        time       BIGINT NOT NULL,
+        version    INT NOT NULL,
+        PRIMARY KEY (id1, id2, link_type)
+    )
+    """,
+    "CREATE INDEX idx_linktable_id1_type ON linktable (id1, link_type)",
+    """
+    CREATE TABLE counttable (
+        id        BIGINT NOT NULL,
+        link_type BIGINT NOT NULL,
+        count     BIGINT NOT NULL,
+        time      BIGINT NOT NULL,
+        version   BIGINT NOT NULL,
+        PRIMARY KEY (id, link_type)
+    )
+    """,
+]

@@ -1,0 +1,186 @@
+"""ResourceStresser: isolated resource micro-stressers (Feature Testing).
+
+Each transaction targets exactly one server resource so an administrator
+can tell which resource saturates first (paper Table 1: "Isolated Resource
+Stresser"):
+
+* ``CPU1``/``CPU2`` — expression-heavy scans that burn engine CPU;
+* ``IO1``/``IO2`` — wide-row and many-row update traffic (buffer/IO);
+* ``Contention1``/``Contention2`` — exclusive locks on a single hot row,
+  respectively a pair of rows taken in *random* order (deadlock bait).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...core.benchmark import BenchmarkModule, CLASS_FEATURE
+from ...core.procedure import Procedure, UserAbort
+from ...rand import random_string
+
+ROWS_PER_SF = 200
+HOT_ROWS = 4
+
+DDL = [
+    """
+    CREATE TABLE iotable (
+        empid BIGINT PRIMARY KEY,
+        data1 VARCHAR(255) NOT NULL,
+        data2 VARCHAR(255) NOT NULL,
+        data3 VARCHAR(255) NOT NULL,
+        data4 VARCHAR(255) NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE iotablesmallrow (
+        empid BIGINT PRIMARY KEY,
+        flag1 INT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE cputable (
+        empid  BIGINT PRIMARY KEY,
+        passwd VARCHAR(255) NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE locktable (
+        empid  BIGINT PRIMARY KEY,
+        salary INT NOT NULL
+    )
+    """,
+]
+
+
+class _StressProcedure(Procedure):
+
+    def _row(self, rng: random.Random) -> int:
+        return rng.randrange(int(self.params["row_count"]))
+
+
+class CPU1(_StressProcedure):
+    """String-function-heavy scan over the whole cputable."""
+
+    name = "CPU1"
+    read_only = True
+    default_weight = 17
+
+    def run(self, conn, rng):
+        cur = conn.cursor()
+        for _ in range(2):
+            cur.execute(
+                "SELECT COUNT(*) FROM cputable "
+                "WHERE LENGTH(UPPER(passwd || passwd)) > 0")
+            cur.fetchall()
+        conn.commit()
+
+
+class CPU2(_StressProcedure):
+    """Arithmetic-heavy aggregate (lighter than CPU1)."""
+
+    name = "CPU2"
+    read_only = True
+    default_weight = 17
+
+    def run(self, conn, rng):
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT SUM(empid * 3 + empid % 7), AVG(empid * empid) "
+            "FROM cputable")
+        cur.fetchall()
+        conn.commit()
+
+
+class IO1(_StressProcedure):
+    """Rewrite all four wide columns of 10 random rows."""
+
+    name = "IO1"
+    default_weight = 17
+
+    def run(self, conn, rng):
+        cur = conn.cursor()
+        for _ in range(10):
+            cur.execute(
+                "UPDATE iotable SET data1 = ?, data2 = ?, data3 = ?, "
+                "data4 = ? WHERE empid = ?",
+                (random_string(rng, 255), random_string(rng, 255),
+                 random_string(rng, 255), random_string(rng, 255),
+                 self._row(rng)))
+        conn.commit()
+
+
+class IO2(_StressProcedure):
+    """Flip the flag of a contiguous batch of 20 small rows."""
+
+    name = "IO2"
+    default_weight = 17
+
+    def run(self, conn, rng):
+        start = self._row(rng)
+        cur = conn.cursor()
+        cur.execute(
+            "UPDATE iotablesmallrow SET flag1 = 1 - flag1 "
+            "WHERE empid >= ? AND empid < ?", (start, start + 20))
+        conn.commit()
+
+
+class Contention1(_StressProcedure):
+    """Update a single globally hot row: pure lock queueing."""
+
+    name = "Contention1"
+    default_weight = 16
+
+    def run(self, conn, rng):
+        hot = rng.randrange(min(HOT_ROWS, int(self.params["row_count"])))
+        cur = conn.cursor()
+        cur.execute("UPDATE locktable SET salary = salary + 1 "
+                    "WHERE empid = ?", (hot,))
+        if cur.rowcount == 0:
+            raise UserAbort("hot row missing")
+        conn.commit()
+
+
+class Contention2(_StressProcedure):
+    """Update two hot rows in random order: classic deadlock generator."""
+
+    name = "Contention2"
+    default_weight = 16
+
+    def run(self, conn, rng):
+        rows = rng.sample(
+            range(min(HOT_ROWS, int(self.params["row_count"]))), 2)
+        cur = conn.cursor()
+        for empid in rows:
+            cur.execute("UPDATE locktable SET salary = salary + 1 "
+                        "WHERE empid = ?", (empid,))
+        conn.commit()
+
+
+class ResourceStresserBenchmark(BenchmarkModule):
+    """Per-resource stress transactions."""
+
+    name = "resourcestresser"
+    domain = "Isolated Resource Stresser"
+    benchmark_class = CLASS_FEATURE
+    procedures = (CPU1, CPU2, IO1, IO2, Contention1, Contention2)
+
+    def ddl(self):
+        return DDL
+
+    def load_data(self, rng: random.Random) -> None:
+        count = max(HOT_ROWS + 1, int(ROWS_PER_SF * self.scale_factor))
+        self.database.bulk_insert("iotable", [
+            (i, random_string(rng, 255), random_string(rng, 255),
+             random_string(rng, 255), random_string(rng, 255))
+            for i in range(count)])
+        self.database.bulk_insert("iotablesmallrow", [
+            (i, 0) for i in range(count)])
+        self.database.bulk_insert("cputable", [
+            (i, random_string(rng, 32, 255)) for i in range(count)])
+        self.database.bulk_insert("locktable", [
+            (i, 10_000) for i in range(count)])
+        self.params["row_count"] = count
+
+    def _derive_params(self) -> None:
+        self.params["row_count"] = int(
+            self.scalar("SELECT COUNT(*) FROM cputable") or 0) or 5

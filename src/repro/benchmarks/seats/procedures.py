@@ -1,0 +1,183 @@
+"""SEATS' six transactions over flights and reservations."""
+
+from __future__ import annotations
+
+import random
+
+from ...core.procedure import Procedure, UserAbort
+from ...errors import IntegrityError
+from .schema import SEATS_PER_FLIGHT
+
+
+class _SeatsProcedure(Procedure):
+
+    def _flight(self, rng: random.Random) -> int:
+        return rng.randrange(int(self.params["flight_count"]))
+
+    def _customer(self, rng: random.Random) -> int:
+        return rng.randrange(int(self.params["customer_count"]))
+
+    def _airport(self, rng: random.Random) -> int:
+        return rng.randrange(int(self.params["airport_count"]))
+
+
+class FindFlights(_SeatsProcedure):
+    """Search flights between two airports inside a departure window."""
+
+    name = "FindFlights"
+    read_only = True
+    default_weight = 10
+
+    def run(self, conn, rng):
+        depart = self._airport(rng)
+        arrive = self._airport(rng)
+        window_start = rng.uniform(0, float(self.params["horizon"]))
+        window_end = window_start + 6 * 3600.0
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT f_id, f_al_id, f_depart_time, f_base_price, f_seats_left "
+            "FROM flight "
+            "WHERE f_depart_ap_id = ? AND f_arrive_ap_id = ? "
+            "  AND f_depart_time BETWEEN ? AND ? "
+            "ORDER BY f_depart_time", (depart, arrive, window_start,
+                                       window_end))
+        rows = cur.fetchall()
+        conn.commit()
+        return rows
+
+
+class FindOpenSeats(_SeatsProcedure):
+    """List the unreserved seat numbers of one flight."""
+
+    name = "FindOpenSeats"
+    read_only = True
+    default_weight = 35
+
+    def run(self, conn, rng):
+        f_id = self._flight(rng)
+        cur = conn.cursor()
+        cur.execute("SELECT f_seats_total, f_base_price FROM flight "
+                    "WHERE f_id = ?", (f_id,))
+        total, _price = self.fetch_one(cur, "missing flight")
+        cur.execute("SELECT r_seat FROM reservation WHERE r_f_id = ?",
+                    (f_id,))
+        taken = {row[0] for row in cur.fetchall()}
+        conn.commit()
+        return [seat for seat in range(total) if seat not in taken]
+
+
+class NewReservation(_SeatsProcedure):
+    """Book a seat; the unique (flight, seat) index arbitrates races."""
+
+    name = "NewReservation"
+    default_weight = 20
+
+    def run(self, conn, rng):
+        f_id = self._flight(rng)
+        c_id = self._customer(rng)
+        seat = rng.randrange(SEATS_PER_FLIGHT)
+        r_id = next(self.params["reservation_id_counter"])
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT f_seats_left, f_base_price FROM flight "
+            "WHERE f_id = ? FOR UPDATE", (f_id,))
+        seats_left, price = self.fetch_one(cur, "missing flight")
+        if seats_left <= 0:
+            raise UserAbort("flight is full")
+        cur.execute(
+            "SELECT r_id FROM reservation WHERE r_f_id = ? AND r_seat = ?",
+            (f_id, seat))
+        if cur.fetchone() is not None:
+            raise UserAbort("seat already reserved")
+        cur.execute(
+            "INSERT INTO reservation (r_id, r_c_id, r_f_id, r_seat, r_price) "
+            "VALUES (?, ?, ?, ?, ?)", (r_id, c_id, f_id, seat, price))
+        cur.execute(
+            "UPDATE flight SET f_seats_left = f_seats_left - 1 "
+            "WHERE f_id = ?", (f_id,))
+        conn.commit()
+        return r_id
+
+
+class UpdateCustomer(_SeatsProcedure):
+    """Refresh a customer's balance and read their frequent-flyer ties."""
+
+    name = "UpdateCustomer"
+    default_weight = 10
+
+    def run(self, conn, rng):
+        c_id = self._customer(rng)
+        cur = conn.cursor()
+        cur.execute("SELECT c_balance FROM customer WHERE c_id = ? "
+                    "FOR UPDATE", (c_id,))
+        self.fetch_one(cur, "missing customer")
+        cur.execute("SELECT ff_al_id FROM frequent_flyer WHERE ff_c_id = ?",
+                    (c_id,))
+        cur.fetchall()
+        cur.execute(
+            "UPDATE customer SET c_balance = c_balance + ? WHERE c_id = ?",
+            (rng.uniform(-50.0, 50.0), c_id))
+        conn.commit()
+
+
+class UpdateReservation(_SeatsProcedure):
+    """Move an existing reservation to a different seat."""
+
+    name = "UpdateReservation"
+    default_weight = 15
+
+    def run(self, conn, rng):
+        f_id = self._flight(rng)
+        new_seat = rng.randrange(SEATS_PER_FLIGHT)
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT r_id, r_seat FROM reservation WHERE r_f_id = ? "
+            "LIMIT 1 FOR UPDATE", (f_id,))
+        row = cur.fetchone()
+        if row is None:
+            raise UserAbort("flight has no reservations")
+        r_id, old_seat = row
+        if new_seat == old_seat:
+            conn.commit()
+            return
+        cur.execute(
+            "SELECT r_id FROM reservation WHERE r_f_id = ? AND r_seat = ?",
+            (f_id, new_seat))
+        if cur.fetchone() is not None:
+            raise UserAbort("target seat occupied")
+        try:
+            cur.execute("UPDATE reservation SET r_seat = ? WHERE r_id = ?",
+                        (new_seat, r_id))
+        except IntegrityError as exc:
+            raise UserAbort(str(exc)) from exc
+        conn.commit()
+
+
+class DeleteReservation(_SeatsProcedure):
+    """Cancel a reservation and release the seat."""
+
+    name = "DeleteReservation"
+    default_weight = 10
+
+    def run(self, conn, rng):
+        c_id = self._customer(rng)
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT r_id, r_f_id, r_price FROM reservation "
+            "WHERE r_c_id = ? LIMIT 1 FOR UPDATE", (c_id,))
+        row = cur.fetchone()
+        if row is None:
+            raise UserAbort("customer has no reservations")
+        r_id, f_id, price = row
+        cur.execute("DELETE FROM reservation WHERE r_id = ?", (r_id,))
+        cur.execute(
+            "UPDATE flight SET f_seats_left = f_seats_left + 1 "
+            "WHERE f_id = ?", (f_id,))
+        cur.execute(
+            "UPDATE customer SET c_balance = c_balance + ? WHERE c_id = ?",
+            (price, c_id))
+        conn.commit()
+
+
+PROCEDURES = (DeleteReservation, FindFlights, FindOpenSeats, NewReservation,
+              UpdateCustomer, UpdateReservation)

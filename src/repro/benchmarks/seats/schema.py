@@ -1,0 +1,83 @@
+"""SEATS schema: the Stonebraker airline ticketing benchmark (subset).
+
+Flights, customers with frequent-flyer ties, and seat reservations.  Seat
+counts per flight follow the original's 150-seat cabins.
+"""
+
+AIRPORTS = 20
+AIRLINES = 5
+CUSTOMERS_PER_SF = 500
+FLIGHTS_PER_SF = 100
+SEATS_PER_FLIGHT = 150
+INITIAL_OCCUPANCY = 0.6
+FLIGHT_HORIZON_HOURS = 24 * 14  # two weeks of departures
+
+DDL = [
+    """
+    CREATE TABLE country (
+        co_id   INT PRIMARY KEY,
+        co_name VARCHAR(64) NOT NULL,
+        co_code CHAR(3) NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE airport (
+        ap_id    INT PRIMARY KEY,
+        ap_code  CHAR(3) NOT NULL,
+        ap_name  VARCHAR(128) NOT NULL,
+        ap_co_id INT NOT NULL
+    )
+    """,
+    "CREATE UNIQUE INDEX idx_airport_code ON airport (ap_code)",
+    """
+    CREATE TABLE airline (
+        al_id   INT PRIMARY KEY,
+        al_name VARCHAR(128) NOT NULL,
+        al_co_id INT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE customer (
+        c_id         BIGINT PRIMARY KEY,
+        c_id_str     VARCHAR(64) NOT NULL,
+        c_base_ap_id INT NOT NULL,
+        c_balance    FLOAT NOT NULL
+    )
+    """,
+    "CREATE UNIQUE INDEX idx_customer_idstr ON customer (c_id_str)",
+    """
+    CREATE TABLE frequent_flyer (
+        ff_c_id  BIGINT NOT NULL,
+        ff_al_id INT NOT NULL,
+        ff_c_id_str VARCHAR(64) NOT NULL,
+        PRIMARY KEY (ff_c_id, ff_al_id)
+    )
+    """,
+    "CREATE INDEX idx_ff_customer ON frequent_flyer (ff_c_id)",
+    """
+    CREATE TABLE flight (
+        f_id           BIGINT PRIMARY KEY,
+        f_al_id        INT NOT NULL,
+        f_depart_ap_id INT NOT NULL,
+        f_arrive_ap_id INT NOT NULL,
+        f_depart_time  TIMESTAMP NOT NULL,
+        f_arrive_time  TIMESTAMP NOT NULL,
+        f_base_price   FLOAT NOT NULL,
+        f_seats_total  INT NOT NULL,
+        f_seats_left   INT NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_flight_route ON flight (f_depart_ap_id, f_arrive_ap_id)",
+    """
+    CREATE TABLE reservation (
+        r_id    BIGINT PRIMARY KEY,
+        r_c_id  BIGINT NOT NULL,
+        r_f_id  BIGINT NOT NULL,
+        r_seat  INT NOT NULL,
+        r_price FLOAT NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_reservation_flight ON reservation (r_f_id)",
+    "CREATE UNIQUE INDEX idx_reservation_seat ON reservation (r_f_id, r_seat)",
+    "CREATE INDEX idx_reservation_customer ON reservation (r_c_id)",
+]

@@ -1,0 +1,71 @@
+"""SmallBank: a contention-heavy banking workload.
+
+Paper Table 1 class: Transactional — "Banking System".
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...core.benchmark import BenchmarkModule, CLASS_TRANSACTIONAL
+from .procedures import PROCEDURES
+from .schema import (ACCOUNTS_PER_SF, DDL, HOTSPOT_PROBABILITY,
+                     INITIAL_BALANCE_MAX, INITIAL_BALANCE_MIN)
+
+
+class SmallBankBenchmark(BenchmarkModule):
+    """Six short banking transactions over a hotspot-skewed account set."""
+
+    name = "smallbank"
+    domain = "Banking System"
+    benchmark_class = CLASS_TRANSACTIONAL
+    procedures = PROCEDURES
+
+    def __init__(self, database, scale_factor=1.0, seed=None,
+                 hotspot_probability: float = HOTSPOT_PROBABILITY) -> None:
+        super().__init__(database, scale_factor, seed)
+        self.params["hotspot_probability"] = hotspot_probability
+
+    def ddl(self):
+        return DDL
+
+    def load_data(self, rng: random.Random) -> None:
+        count = max(2, int(ACCOUNTS_PER_SF * self.scale_factor))
+        accounts, savings, checking = [], [], []
+        for custid in range(count):
+            accounts.append((custid, f"customer{custid:09d}"))
+            savings.append(
+                (custid, rng.uniform(INITIAL_BALANCE_MIN,
+                                     INITIAL_BALANCE_MAX)))
+            checking.append(
+                (custid, rng.uniform(INITIAL_BALANCE_MIN,
+                                     INITIAL_BALANCE_MAX)))
+            if len(accounts) >= 1000:
+                self.database.bulk_insert("accounts", accounts)
+                self.database.bulk_insert("savings", savings)
+                self.database.bulk_insert("checking", checking)
+                accounts, savings, checking = [], [], []
+        if accounts:
+            self.database.bulk_insert("accounts", accounts)
+            self.database.bulk_insert("savings", savings)
+            self.database.bulk_insert("checking", checking)
+        self.params["account_count"] = count
+
+    def total_money(self) -> float:
+        """Invariant check: SendPayment/Amalgamate conserve total money."""
+        conn_txn = self.database.begin()
+        try:
+            result = self.database.execute(
+                conn_txn, "SELECT SUM(bal) FROM savings")
+            savings = result.rows[0][0] or 0.0
+            result = self.database.execute(
+                conn_txn, "SELECT SUM(bal) FROM checking")
+            checking = result.rows[0][0] or 0.0
+        finally:
+            self.database.rollback(conn_txn)
+        return savings + checking
+
+    def _derive_params(self) -> None:
+        self.params["account_count"] = int(
+            self.scalar("SELECT COUNT(*) FROM accounts") or 0) or 2
+        self.params.setdefault("hotspot_probability", 0.9)

@@ -1,0 +1,163 @@
+"""SmallBank transaction procedures (Cahill et al. / H-Store variant).
+
+All six transactions touch one or two customers; customer selection is
+hotspot-skewed, concentrating writes on a small account range — the
+workload the paper's §4.1.1 claim ("read-heavy boosts throughput due to
+reduced lock contention") is easiest to observe on.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...core.procedure import Procedure, UserAbort
+from .schema import HOTSPOT_PROBABILITY, HOTSPOT_SIZE
+
+
+class _SmallBankProcedure(Procedure):
+
+    def _pick_customer(self, rng: random.Random) -> int:
+        count = int(self.params["account_count"])
+        hot = min(HOTSPOT_SIZE, count)
+        if rng.random() < float(self.params.get(
+                "hotspot_probability", HOTSPOT_PROBABILITY)):
+            return rng.randrange(hot)
+        if count <= hot:
+            return rng.randrange(count)
+        return rng.randrange(hot, count)
+
+    def _pick_two_customers(self, rng: random.Random) -> tuple[int, int]:
+        first = self._pick_customer(rng)
+        second = self._pick_customer(rng)
+        while second == first:
+            second = self._pick_customer(rng)
+        return first, second
+
+
+class Balance(_SmallBankProcedure):
+    """Read a customer's total balance (savings + checking)."""
+
+    name = "Balance"
+    read_only = True
+    default_weight = 15
+
+    def run(self, conn, rng):
+        custid = self._pick_customer(rng)
+        cur = conn.cursor()
+        cur.execute("SELECT bal FROM savings WHERE custid = ?", (custid,))
+        savings = self.fetch_one(cur, f"no savings row for {custid}")[0]
+        cur.execute("SELECT bal FROM checking WHERE custid = ?", (custid,))
+        checking = self.fetch_one(cur, f"no checking row for {custid}")[0]
+        conn.commit()
+        return savings + checking
+
+
+class DepositChecking(_SmallBankProcedure):
+    """Add money to a checking account."""
+
+    name = "DepositChecking"
+    default_weight = 15
+
+    def run(self, conn, rng):
+        custid = self._pick_customer(rng)
+        amount = rng.uniform(1.0, 100.0)
+        cur = conn.cursor()
+        cur.execute("UPDATE checking SET bal = bal + ? WHERE custid = ?",
+                    (amount, custid))
+        if cur.rowcount == 0:
+            raise UserAbort(f"no checking account for customer {custid}")
+        conn.commit()
+
+
+class TransactSavings(_SmallBankProcedure):
+    """Apply a deposit/withdrawal to savings; aborts on overdraft."""
+
+    name = "TransactSavings"
+    default_weight = 15
+
+    def run(self, conn, rng):
+        custid = self._pick_customer(rng)
+        amount = rng.uniform(-200.0, 200.0)
+        cur = conn.cursor()
+        cur.execute("SELECT bal FROM savings WHERE custid = ? FOR UPDATE",
+                    (custid,))
+        balance = self.fetch_one(cur, f"no savings row for {custid}")[0]
+        if balance + amount < 0:
+            raise UserAbort("savings overdraft")
+        cur.execute("UPDATE savings SET bal = bal + ? WHERE custid = ?",
+                    (amount, custid))
+        conn.commit()
+
+
+class Amalgamate(_SmallBankProcedure):
+    """Move all funds of customer A into customer B's checking account."""
+
+    name = "Amalgamate"
+    default_weight = 15
+
+    def run(self, conn, rng):
+        source, target = self._pick_two_customers(rng)
+        cur = conn.cursor()
+        cur.execute("SELECT bal FROM savings WHERE custid = ? FOR UPDATE",
+                    (source,))
+        savings = self.fetch_one(cur, f"no savings row for {source}")[0]
+        cur.execute("SELECT bal FROM checking WHERE custid = ? FOR UPDATE",
+                    (source,))
+        checking = self.fetch_one(cur, f"no checking row for {source}")[0]
+        total = savings + checking
+        cur.execute("UPDATE savings SET bal = 0 WHERE custid = ?", (source,))
+        cur.execute("UPDATE checking SET bal = 0 WHERE custid = ?", (source,))
+        cur.execute("UPDATE checking SET bal = bal + ? WHERE custid = ?",
+                    (total, target))
+        if cur.rowcount == 0:
+            raise UserAbort(f"no checking account for customer {target}")
+        conn.commit()
+
+
+class SendPayment(_SmallBankProcedure):
+    """Transfer between two checking accounts; aborts on insufficiency."""
+
+    name = "SendPayment"
+    default_weight = 25
+
+    def run(self, conn, rng):
+        sender, receiver = self._pick_two_customers(rng)
+        amount = rng.uniform(1.0, 100.0)
+        cur = conn.cursor()
+        cur.execute("SELECT bal FROM checking WHERE custid = ? FOR UPDATE",
+                    (sender,))
+        balance = self.fetch_one(cur, f"no checking row for {sender}")[0]
+        if balance < amount:
+            raise UserAbort("insufficient funds for payment")
+        cur.execute("UPDATE checking SET bal = bal - ? WHERE custid = ?",
+                    (amount, sender))
+        cur.execute("UPDATE checking SET bal = bal + ? WHERE custid = ?",
+                    (amount, receiver))
+        if cur.rowcount == 0:
+            raise UserAbort(f"no checking account for customer {receiver}")
+        conn.commit()
+
+
+class WriteCheck(_SmallBankProcedure):
+    """Cash a check; overdrafts incur a $1 penalty (classic write skew)."""
+
+    name = "WriteCheck"
+    default_weight = 15
+
+    def run(self, conn, rng):
+        custid = self._pick_customer(rng)
+        amount = rng.uniform(1.0, 200.0)
+        cur = conn.cursor()
+        cur.execute("SELECT bal FROM savings WHERE custid = ?", (custid,))
+        savings = self.fetch_one(cur, f"no savings row for {custid}")[0]
+        cur.execute("SELECT bal FROM checking WHERE custid = ?", (custid,))
+        checking = self.fetch_one(cur, f"no checking row for {custid}")[0]
+        if savings + checking < amount:
+            amount += 1.0  # overdraft penalty
+        cur.execute("UPDATE checking SET bal = bal - ? WHERE custid = ?",
+                    (amount, custid))
+        conn.commit()
+
+
+PROCEDURES = (Amalgamate, Balance, DepositChecking, SendPayment,
+              TransactSavings, WriteCheck)

@@ -1,0 +1,34 @@
+"""SmallBank schema: accounts plus savings/checking balance tables."""
+
+#: Accounts per unit of scale factor.
+ACCOUNTS_PER_SF = 1_000
+
+#: The hot set: a small range of accounts taking a large share of traffic,
+#: which is what makes SmallBank a lock-contention workload.
+HOTSPOT_SIZE = 100
+HOTSPOT_PROBABILITY = 0.9
+
+INITIAL_BALANCE_MIN = 10_000
+INITIAL_BALANCE_MAX = 50_000
+
+DDL = [
+    """
+    CREATE TABLE accounts (
+        custid BIGINT PRIMARY KEY,
+        name   VARCHAR(64) NOT NULL
+    )
+    """,
+    "CREATE UNIQUE INDEX idx_accounts_name ON accounts (name)",
+    """
+    CREATE TABLE savings (
+        custid BIGINT PRIMARY KEY,
+        bal    FLOAT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE checking (
+        custid BIGINT PRIMARY KEY,
+        bal    FLOAT NOT NULL
+    )
+    """,
+]

@@ -1,0 +1,171 @@
+"""TATP's seven transactions with the standard 80/16/4 read/update mix."""
+
+from __future__ import annotations
+
+import random
+
+from ...core.procedure import Procedure, UserAbort
+from ...errors import IntegrityError
+from ...rand import random_numeric_string
+
+
+class _TatpProcedure(Procedure):
+
+    def _pick_sid(self, rng: random.Random) -> int:
+        return rng.randrange(int(self.params["subscriber_count"]))
+
+    def _sub_nbr(self, s_id: int) -> str:
+        return f"{s_id:015d}"
+
+
+class GetSubscriberData(_TatpProcedure):
+    """Read a subscriber's full HLR profile."""
+
+    name = "GetSubscriberData"
+    read_only = True
+    default_weight = 35
+
+    def run(self, conn, rng):
+        cur = conn.cursor()
+        cur.execute("SELECT * FROM subscriber WHERE s_id = ?",
+                    (self._pick_sid(rng),))
+        row = self.fetch_one(cur, "missing subscriber")
+        conn.commit()
+        return row
+
+
+class GetAccessData(_TatpProcedure):
+    """Read one access-info record; ~37.5% miss rate by design."""
+
+    name = "GetAccessData"
+    read_only = True
+    default_weight = 35
+
+    def run(self, conn, rng):
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT data1, data2, data3, data4 FROM access_info "
+            "WHERE s_id = ? AND ai_type = ?",
+            (self._pick_sid(rng), rng.randint(1, 4)))
+        row = cur.fetchone()  # a miss is a valid outcome, not an abort
+        conn.commit()
+        return row
+
+
+class GetNewDestination(_TatpProcedure):
+    """Look up the forwarding number for an active special facility."""
+
+    name = "GetNewDestination"
+    read_only = True
+    default_weight = 10
+
+    def run(self, conn, rng):
+        s_id = self._pick_sid(rng)
+        sf_type = rng.randint(1, 4)
+        start_time = rng.choice((0, 8, 16))
+        end_time = rng.randint(1, 24)
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT cf.numberx "
+            "FROM special_facility sf JOIN call_forwarding cf "
+            "  ON sf.s_id = cf.s_id AND sf.sf_type = cf.sf_type "
+            "WHERE sf.s_id = ? AND sf.sf_type = ? AND sf.is_active = 1 "
+            "  AND cf.start_time <= ? AND cf.end_time > ?",
+            (s_id, sf_type, start_time, end_time))
+        rows = cur.fetchall()
+        conn.commit()
+        return rows
+
+
+class UpdateSubscriberData(_TatpProcedure):
+    """Update subscriber flags plus a special-facility attribute."""
+
+    name = "UpdateSubscriberData"
+    default_weight = 2
+
+    def run(self, conn, rng):
+        s_id = self._pick_sid(rng)
+        cur = conn.cursor()
+        cur.execute("UPDATE subscriber SET bit_1 = ? WHERE s_id = ?",
+                    (rng.randint(0, 1), s_id))
+        cur.execute(
+            "UPDATE special_facility SET data_a = ? "
+            "WHERE s_id = ? AND sf_type = ?",
+            (rng.randint(0, 255), s_id, rng.randint(1, 4)))
+        if cur.rowcount == 0:
+            raise UserAbort("no such special facility")  # ~62.5% per spec
+        conn.commit()
+
+
+class UpdateLocation(_TatpProcedure):
+    """Update a subscriber's VLR location, addressed by phone number."""
+
+    name = "UpdateLocation"
+    default_weight = 14
+
+    def run(self, conn, rng):
+        sub_nbr = self._sub_nbr(self._pick_sid(rng))
+        cur = conn.cursor()
+        cur.execute("UPDATE subscriber SET vlr_location = ? "
+                    "WHERE sub_nbr = ?",
+                    (rng.randrange(2 ** 31), sub_nbr))
+        if cur.rowcount == 0:
+            raise UserAbort("unknown subscriber number")
+        conn.commit()
+
+
+class InsertCallForwarding(_TatpProcedure):
+    """Add a forwarding entry; duplicate periods abort (PK violation)."""
+
+    name = "InsertCallForwarding"
+    default_weight = 2
+
+    def run(self, conn, rng):
+        sub_nbr = self._sub_nbr(self._pick_sid(rng))
+        cur = conn.cursor()
+        cur.execute("SELECT s_id FROM subscriber WHERE sub_nbr = ?",
+                    (sub_nbr,))
+        s_id = self.fetch_one(cur, "unknown subscriber number")[0]
+        cur.execute("SELECT sf_type FROM special_facility WHERE s_id = ?",
+                    (s_id,))
+        sf_rows = cur.fetchall()
+        if not sf_rows:
+            raise UserAbort("subscriber has no special facilities")
+        sf_type = sf_rows[rng.randrange(len(sf_rows))][0]
+        start_time = rng.choice((0, 8, 16))
+        try:
+            cur.execute(
+                "INSERT INTO call_forwarding "
+                "(s_id, sf_type, start_time, end_time, numberx) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (s_id, sf_type, start_time, start_time + rng.randint(1, 8),
+                 random_numeric_string(rng, 15)))
+        except IntegrityError as exc:
+            raise UserAbort(str(exc)) from exc
+        conn.commit()
+
+
+class DeleteCallForwarding(_TatpProcedure):
+    """Remove a forwarding entry; a miss aborts per the TATP spec."""
+
+    name = "DeleteCallForwarding"
+    default_weight = 2
+
+    def run(self, conn, rng):
+        sub_nbr = self._sub_nbr(self._pick_sid(rng))
+        cur = conn.cursor()
+        cur.execute("SELECT s_id FROM subscriber WHERE sub_nbr = ?",
+                    (sub_nbr,))
+        s_id = self.fetch_one(cur, "unknown subscriber number")[0]
+        cur.execute(
+            "DELETE FROM call_forwarding "
+            "WHERE s_id = ? AND sf_type = ? AND start_time = ?",
+            (s_id, rng.randint(1, 4), rng.choice((0, 8, 16))))
+        if cur.rowcount == 0:
+            raise UserAbort("no forwarding entry to delete")
+        conn.commit()
+
+
+PROCEDURES = (DeleteCallForwarding, GetAccessData, GetNewDestination,
+              GetSubscriberData, InsertCallForwarding, UpdateLocation,
+              UpdateSubscriberData)

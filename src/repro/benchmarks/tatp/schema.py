@@ -1,0 +1,64 @@
+"""TATP schema: the Telecom Application Transaction Processing benchmark.
+
+Four tables modelling a Home Location Register: SUBSCRIBER with its 30+
+flag/hex/byte columns, ACCESS_INFO, SPECIAL_FACILITY, and CALL_FORWARDING.
+"""
+
+SUBSCRIBERS_PER_SF = 1_000
+
+_SUBSCRIBER_FLAGS = "\n".join(
+    f"        bit_{i} TINYINT NOT NULL," for i in range(1, 11))
+_SUBSCRIBER_HEX = "\n".join(
+    f"        hex_{i} TINYINT NOT NULL," for i in range(1, 11))
+_SUBSCRIBER_BYTES = "\n".join(
+    f"        byte2_{i} SMALLINT NOT NULL," for i in range(1, 11))
+
+DDL = [
+    f"""
+    CREATE TABLE subscriber (
+        s_id INT PRIMARY KEY,
+        sub_nbr VARCHAR(15) NOT NULL,
+{_SUBSCRIBER_FLAGS}
+{_SUBSCRIBER_HEX}
+{_SUBSCRIBER_BYTES}
+        msc_location INT NOT NULL,
+        vlr_location INT NOT NULL
+    )
+    """,
+    "CREATE UNIQUE INDEX idx_subscriber_sub_nbr ON subscriber (sub_nbr)",
+    """
+    CREATE TABLE access_info (
+        s_id    INT NOT NULL,
+        ai_type TINYINT NOT NULL,
+        data1   SMALLINT NOT NULL,
+        data2   SMALLINT NOT NULL,
+        data3   CHAR(3) NOT NULL,
+        data4   CHAR(5) NOT NULL,
+        PRIMARY KEY (s_id, ai_type)
+    )
+    """,
+    "CREATE INDEX idx_access_info_sid ON access_info (s_id)",
+    """
+    CREATE TABLE special_facility (
+        s_id        INT NOT NULL,
+        sf_type     TINYINT NOT NULL,
+        is_active   TINYINT NOT NULL,
+        error_cntrl SMALLINT NOT NULL,
+        data_a      SMALLINT NOT NULL,
+        data_b      CHAR(5) NOT NULL,
+        PRIMARY KEY (s_id, sf_type)
+    )
+    """,
+    "CREATE INDEX idx_special_facility_sid ON special_facility (s_id)",
+    """
+    CREATE TABLE call_forwarding (
+        s_id       INT NOT NULL,
+        sf_type    TINYINT NOT NULL,
+        start_time TINYINT NOT NULL,
+        end_time   TINYINT NOT NULL,
+        numberx    VARCHAR(15) NOT NULL,
+        PRIMARY KEY (s_id, sf_type, start_time)
+    )
+    """,
+    "CREATE INDEX idx_call_forwarding_sid ON call_forwarding (s_id)",
+]

@@ -1,0 +1,116 @@
+"""TPC-C: the industry-standard order-processing benchmark.
+
+Paper Table 1 class: Transactional — "Order Processing".  The scale factor
+is the warehouse count.  Population sizes per warehouse default to the
+spec's (10 districts, 3,000 customers/district, 100,000 items) and can be
+reduced for fast Python-speed runs while preserving the spec's ratios and
+skew (NURand constants are rescaled, see ``schema.nurand_a``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from ...core.benchmark import BenchmarkModule, CLASS_TRANSACTIONAL
+from .loader import TpccLoader
+from .procedures import (Delivery, NewOrder, OrderStatus, Payment,
+                         PROCEDURES, StockLevel)
+from .schema import (CUSTOMERS_PER_DISTRICT, DDL, DISTRICTS_PER_WAREHOUSE,
+                     INITIAL_ORDERS_PER_DISTRICT, ITEMS)
+
+__all__ = ["TpccBenchmark", "NewOrder", "Payment", "OrderStatus",
+           "Delivery", "StockLevel"]
+
+
+class TpccBenchmark(BenchmarkModule):
+    """TPC-C with configurable per-warehouse population."""
+
+    name = "tpcc"
+    domain = "Order Processing"
+    benchmark_class = CLASS_TRANSACTIONAL
+    procedures = PROCEDURES
+
+    def __init__(self, database, scale_factor=1.0, seed=None,
+                 districts: int = DISTRICTS_PER_WAREHOUSE,
+                 customers_per_district: int = CUSTOMERS_PER_DISTRICT,
+                 items: int = ITEMS,
+                 initial_orders: int = INITIAL_ORDERS_PER_DISTRICT) -> None:
+        super().__init__(database, scale_factor, seed)
+        self.warehouses = max(1, int(round(scale_factor)))
+        self.districts = districts
+        self.customers_per_district = customers_per_district
+        self.items = items
+        self.initial_orders = min(initial_orders, customers_per_district)
+
+    def ddl(self):
+        return DDL
+
+    def load_data(self, rng: random.Random) -> None:
+        loader = TpccLoader(
+            self.database, self.warehouses, self.districts,
+            self.customers_per_district, self.items, self.initial_orders,
+            rng)
+        loader.load()
+        self.params.update({
+            "warehouses": self.warehouses,
+            "districts": self.districts,
+            "customers_per_district": self.customers_per_district,
+            "items": self.items,
+            # Continue history ids past what the loader consumed.
+            "history_id_counter": loader._history_ids,
+        })
+
+    # -- consistency checks (spec §3.3.2, subset) -----------------------------
+
+    def check_consistency(self) -> dict[str, bool]:
+        """Spec consistency conditions 1-3 over the loaded/modified data."""
+        txn = self.database.begin()
+        try:
+            ok_next_o_id = True
+            ok_new_order = True
+            for w_id in range(1, self.warehouses + 1):
+                for d_id in range(1, self.districts + 1):
+                    result = self.database.execute(
+                        txn, "SELECT d_next_o_id FROM district "
+                        "WHERE d_w_id = ? AND d_id = ?", (w_id, d_id))
+                    next_o_id = result.rows[0][0]
+                    result = self.database.execute(
+                        txn, "SELECT MAX(o_id) FROM oorder "
+                        "WHERE o_w_id = ? AND o_d_id = ?", (w_id, d_id))
+                    max_o_id = result.rows[0][0] or 0
+                    if max_o_id >= next_o_id:
+                        ok_next_o_id = False
+                    result = self.database.execute(
+                        txn, "SELECT COUNT(*), MIN(no_o_id), MAX(no_o_id) "
+                        "FROM new_order WHERE no_w_id = ? AND no_d_id = ?",
+                        (w_id, d_id))
+                    count, lo, hi = result.rows[0]
+                    if count and hi - lo + 1 != count:
+                        ok_new_order = False
+            return {"d_next_o_id": ok_next_o_id,
+                    "new_order_contiguous": ok_new_order}
+        finally:
+            self.database.rollback(txn)
+
+    def _derive_params(self) -> None:
+        import itertools
+        warehouses = int(
+            self.scalar("SELECT COUNT(*) FROM warehouse") or 0) or 1
+        districts = int(
+            self.scalar("SELECT MAX(d_id) FROM district") or 0) or 1
+        customers = int(
+            self.scalar("SELECT MAX(c_id) FROM customer") or 0) or 1
+        items = int(self.scalar("SELECT COUNT(*) FROM item") or 0) or 1
+        self.warehouses = warehouses
+        self.districts = districts
+        self.customers_per_district = customers
+        self.items = items
+        self.params.update({
+            "warehouses": warehouses,
+            "districts": districts,
+            "customers_per_district": customers,
+            "items": items,
+            "history_id_counter": itertools.count(
+                int(self.scalar("SELECT MAX(h_id) FROM history") or 0) + 1),
+        })

@@ -1,0 +1,80 @@
+"""Twitter: micro-blogging workload from an anonymised trace (Web-Oriented).
+
+The follow graph is preferential-attachment-ish: follower counts are
+Zipf-distributed so a few celebrity users dominate both storage and reads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from ...core.benchmark import BenchmarkModule, CLASS_WEB
+from ...rand import ZipfGenerator, random_string
+from .procedures import PROCEDURES
+from .schema import (DDL, MAX_FOLLOWERS_PER_USER, TWEETS_PER_SF,
+                     TWEET_LENGTH, USERS_PER_SF)
+
+
+class TwitterBenchmark(BenchmarkModule):
+    """Tweet/timeline workload over a skewed follow graph."""
+
+    name = "twitter"
+    domain = "Social Networking"
+    benchmark_class = CLASS_WEB
+    procedures = PROCEDURES
+
+    def ddl(self):
+        return DDL
+
+    def load_data(self, rng: random.Random) -> None:
+        users = max(2, int(USERS_PER_SF * self.scale_factor))
+        tweets = max(1, int(TWEETS_PER_SF * self.scale_factor))
+
+        follow_rows: set[tuple[int, int]] = set()
+        celebrity = ZipfGenerator(users, theta=0.8)
+        for follower in range(users):
+            for _ in range(rng.randint(0, MAX_FOLLOWERS_PER_USER)):
+                followee = celebrity.next(rng)
+                if followee != follower:
+                    follow_rows.add((follower, followee))
+
+        followers_of: dict[int, int] = {}
+        for _f1, f2 in follow_rows:
+            followers_of[f2] = followers_of.get(f2, 0) + 1
+
+        self.database.bulk_insert("user_profiles", [
+            (uid, random_string(rng, 4, 16),
+             random_string(rng, 8, 24) + "@example.com",
+             None, None, followers_of.get(uid, 0))
+            for uid in range(users)])
+        # ``follows``: who I follow; ``followers``: who follows me.
+        self.database.bulk_insert(
+            "follows", sorted(follow_rows))
+        self.database.bulk_insert(
+            "followers", sorted((f2, f1) for f1, f2 in follow_rows))
+
+        author = ZipfGenerator(users, theta=0.8)
+        batch = []
+        for tweet_id in range(tweets):
+            batch.append((tweet_id, author.next(rng),
+                          random_string(rng, 20, TWEET_LENGTH), 0.0))
+            if len(batch) >= 2000:
+                self.database.bulk_insert("tweets", batch)
+                batch = []
+        if batch:
+            self.database.bulk_insert("tweets", batch)
+
+        self.params["user_count"] = users
+        self.params["tweet_count"] = tweets
+        self.params["tweet_id_counter"] = itertools.count(tweets)
+
+    def _derive_params(self) -> None:
+        self.params["user_count"] = int(
+            self.scalar("SELECT COUNT(*) FROM user_profiles") or 0) or 2
+        self.params["tweet_count"] = int(
+            self.scalar("SELECT COUNT(*) FROM tweets") or 0) or 1
+        next_id = max(
+            int(self.scalar("SELECT MAX(id) FROM tweets") or -1),
+            int(self.scalar("SELECT MAX(id) FROM added_tweets") or -1)) + 1
+        self.params["tweet_id_counter"] = itertools.count(next_id)

@@ -1,0 +1,121 @@
+"""Twitter's five transactions with the trace-derived default mixture.
+
+The OLTP-Bench Twitter workload was derived from a real Twitter trace:
+timeline reads dominate (GetUserTweets ~90%), tweet insertion is ~1%.
+User selection is Zipf-skewed — celebrity accounts absorb most traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from ...core.procedure import Procedure, UserAbort
+from ...rand import ZipfGenerator, random_string
+from .schema import TWEET_LENGTH
+
+
+class _TwitterProcedure(Procedure):
+
+    def _user_zipf(self) -> ZipfGenerator:
+        cache = self.params.setdefault("_zipf_cache", {})
+        count = int(self.params["user_count"])
+        zipf = cache.get(count)
+        if zipf is None:
+            zipf = ZipfGenerator(count, theta=0.8)
+            cache[count] = zipf
+        return zipf
+
+    def _pick_user(self, rng: random.Random) -> int:
+        return self._user_zipf().next(rng)
+
+    def _pick_tweet(self, rng: random.Random) -> int:
+        return rng.randrange(int(self.params["tweet_count"]))
+
+
+class GetTweet(_TwitterProcedure):
+    name = "GetTweet"
+    read_only = True
+    default_weight = 1
+
+    def run(self, conn, rng):
+        cur = conn.cursor()
+        cur.execute("SELECT id, uid, text FROM tweets WHERE id = ?",
+                    (self._pick_tweet(rng),))
+        row = cur.fetchone()
+        conn.commit()
+        return row
+
+
+class GetTweetsFromFollowing(_TwitterProcedure):
+    """Home timeline: tweets from everyone the user follows."""
+
+    name = "GetTweetsFromFollowing"
+    read_only = True
+    default_weight = 1
+
+    def run(self, conn, rng):
+        uid = self._pick_user(rng)
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT t.id, t.uid, t.text "
+            "FROM follows f JOIN tweets t ON t.uid = f.f2 "
+            "WHERE f.f1 = ? LIMIT 100", (uid,))
+        rows = cur.fetchall()
+        conn.commit()
+        return rows
+
+
+class GetFollowers(_TwitterProcedure):
+    name = "GetFollowers"
+    read_only = True
+    default_weight = 7
+
+    def run(self, conn, rng):
+        uid = self._pick_user(rng)
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT u.uid, u.name FROM followers f "
+            "JOIN user_profiles u ON u.uid = f.f2 "
+            "WHERE f.f1 = ? LIMIT 100", (uid,))
+        rows = cur.fetchall()
+        conn.commit()
+        return rows
+
+
+class GetUserTweets(_TwitterProcedure):
+    """Profile timeline: a user's own recent tweets (~90% of traffic)."""
+
+    name = "GetUserTweets"
+    read_only = True
+    default_weight = 90
+
+    def run(self, conn, rng):
+        uid = self._pick_user(rng)
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT id, text, createdate FROM tweets WHERE uid = ? "
+            "ORDER BY id DESC LIMIT 10", (uid,))
+        rows = cur.fetchall()
+        conn.commit()
+        return rows
+
+
+class InsertTweet(_TwitterProcedure):
+    name = "InsertTweet"
+    default_weight = 1
+
+    def run(self, conn, rng):
+        uid = self._pick_user(rng)
+        tweet_id = next(self.params["tweet_id_counter"])
+        cur = conn.cursor()
+        cur.execute(
+            "INSERT INTO added_tweets (id, uid, text, createdate) "
+            "VALUES (?, ?, ?, ?)",
+            (tweet_id, uid, random_string(rng, 20, TWEET_LENGTH), 0.0))
+        conn.commit()
+        return tweet_id
+
+
+PROCEDURES = (GetTweet, GetTweetsFromFollowing, GetFollowers,
+              GetUserTweets, InsertTweet)

@@ -1,0 +1,54 @@
+"""Twitter schema: profiles, the follow graph, and tweets."""
+
+USERS_PER_SF = 500
+TWEETS_PER_SF = 2_000
+MAX_FOLLOWERS_PER_USER = 20
+
+TWEET_LENGTH = 140
+
+DDL = [
+    """
+    CREATE TABLE user_profiles (
+        uid            INT PRIMARY KEY,
+        name           VARCHAR(32) NOT NULL,
+        email          VARCHAR(64) NOT NULL,
+        partitionid    INT,
+        partitionid2   INT,
+        followers      INT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE followers (
+        f1 INT NOT NULL,
+        f2 INT NOT NULL,
+        PRIMARY KEY (f1, f2)
+    )
+    """,
+    "CREATE INDEX idx_followers_f1 ON followers (f1)",
+    """
+    CREATE TABLE follows (
+        f1 INT NOT NULL,
+        f2 INT NOT NULL,
+        PRIMARY KEY (f1, f2)
+    )
+    """,
+    "CREATE INDEX idx_follows_f1 ON follows (f1)",
+    """
+    CREATE TABLE tweets (
+        id         BIGINT PRIMARY KEY,
+        uid        INT NOT NULL,
+        text       VARCHAR(140) NOT NULL,
+        createdate TIMESTAMP
+    )
+    """,
+    "CREATE INDEX idx_tweets_uid ON tweets (uid)",
+    """
+    CREATE TABLE added_tweets (
+        id         BIGINT PRIMARY KEY,
+        uid        INT NOT NULL,
+        text       VARCHAR(140) NOT NULL,
+        createdate TIMESTAMP
+    )
+    """,
+    "CREATE INDEX idx_added_tweets_uid ON added_tweets (uid)",
+]

@@ -1,0 +1,97 @@
+"""Voter: talent-show telephone voting (H-Store's "Japanese idol" app).
+
+Paper Table 1 class: Transactional — "Talent Show Voting".  A single
+transaction type (``Vote``) with validation logic and a per-phone vote cap;
+throughput-bound inserts make it the canonical high-rate workload for the
+game's character.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from ...core.benchmark import BenchmarkModule, CLASS_TRANSACTIONAL
+from ...core.procedure import Procedure, UserAbort
+from .schema import (AREA_CODE_STATES, CONTESTANT_NAMES, DDL,
+                     MAX_VOTES_PER_PHONE, NUM_CONTESTANTS)
+
+
+class Vote(Procedure):
+    """Validate and record one phone vote."""
+
+    name = "Vote"
+    default_weight = 100
+
+    def run(self, conn, rng: random.Random):
+        contestant = rng.randint(1, int(self.params["contestant_count"]))
+        area_code, state = AREA_CODE_STATES[
+            rng.randrange(len(AREA_CODE_STATES))]
+        phone = area_code * 10_000_000 + rng.randrange(10_000_000)
+        cur = conn.cursor()
+        cur.execute(
+            "SELECT contestant_number FROM contestants "
+            "WHERE contestant_number = ?", (contestant,))
+        if cur.fetchone() is None:
+            raise UserAbort(f"unknown contestant {contestant}")
+        cur.execute(
+            "SELECT COUNT(*) FROM votes WHERE phone_number = ?", (phone,))
+        votes_cast = cur.fetchone()[0]
+        if votes_cast >= int(self.params["max_votes_per_phone"]):
+            raise UserAbort(f"phone {phone} exceeded the vote limit")
+        vote_id = next(self.params["vote_id_counter"])
+        cur.execute(
+            "INSERT INTO votes (vote_id, phone_number, state, "
+            "contestant_number, created) VALUES (?, ?, ?, ?, ?)",
+            (vote_id, phone, state, contestant, 0.0))
+        conn.commit()
+        return vote_id
+
+
+class VoterBenchmark(BenchmarkModule):
+    """Single-transaction voting workload."""
+
+    name = "voter"
+    domain = "Talent Show Voting"
+    benchmark_class = CLASS_TRANSACTIONAL
+    procedures = (Vote,)
+
+    def ddl(self):
+        return DDL
+
+    def load_data(self, rng: random.Random) -> None:
+        contestant_count = NUM_CONTESTANTS
+        self.database.bulk_insert("contestants", [
+            (i + 1, CONTESTANT_NAMES[i % len(CONTESTANT_NAMES)])
+            for i in range(contestant_count)
+        ])
+        self.database.bulk_insert("area_code_state", AREA_CODE_STATES)
+        self.params["contestant_count"] = contestant_count
+        self.params["max_votes_per_phone"] = MAX_VOTES_PER_PHONE
+        # itertools.count().__next__ is atomic under the GIL, so concurrent
+        # workers never mint the same vote id.
+        self.params["vote_id_counter"] = itertools.count(1)
+
+    def leaderboard(self) -> list[tuple[str, int]]:
+        """Contestants ranked by vote count (the demo's results screen)."""
+        txn = self.database.begin()
+        try:
+            result = self.database.execute(txn, """
+                SELECT c.contestant_name, COUNT(v.vote_id) AS total
+                FROM contestants c LEFT JOIN votes v
+                  ON v.contestant_number = c.contestant_number
+                GROUP BY c.contestant_name
+                ORDER BY total DESC, c.contestant_name
+            """)
+            return [(row[0], row[1]) for row in result.rows]
+        finally:
+            self.database.rollback(txn)
+
+    def _derive_params(self) -> None:
+        import itertools
+        self.params["contestant_count"] = int(
+            self.scalar("SELECT COUNT(*) FROM contestants") or 0) or 1
+        self.params["max_votes_per_phone"] = MAX_VOTES_PER_PHONE
+        next_vote = int(self.scalar(
+            "SELECT MAX(vote_id) FROM votes") or 0) + 1
+        self.params["vote_id_counter"] = itertools.count(next_vote)

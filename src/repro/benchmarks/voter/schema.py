@@ -1,0 +1,43 @@
+"""Voter schema: the talent-show telephone voting benchmark (H-Store)."""
+
+NUM_CONTESTANTS = 6
+MAX_VOTES_PER_PHONE = 2
+
+#: Area codes mapped to US states (subset; enough for realistic skew).
+AREA_CODE_STATES = [
+    (212, "NY"), (213, "CA"), (312, "IL"), (412, "PA"), (415, "CA"),
+    (512, "TX"), (602, "AZ"), (617, "MA"), (702, "NV"), (713, "TX"),
+    (305, "FL"), (404, "GA"), (206, "WA"), (303, "CO"), (503, "OR"),
+    (614, "OH"), (615, "TN"), (704, "NC"), (816, "MO"), (504, "LA"),
+]
+
+CONTESTANT_NAMES = [
+    "Edwina Burnam", "Tabatha Gehling", "Kelly Clauss", "Jessie Alloway",
+    "Alana Bregman", "Jessie Eichman",
+]
+
+DDL = [
+    """
+    CREATE TABLE contestants (
+        contestant_number INT PRIMARY KEY,
+        contestant_name   VARCHAR(50) NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE area_code_state (
+        area_code SMALLINT PRIMARY KEY,
+        state     VARCHAR(2) NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE votes (
+        vote_id           BIGINT PRIMARY KEY,
+        phone_number      BIGINT NOT NULL,
+        state             VARCHAR(2) NOT NULL,
+        contestant_number INT NOT NULL,
+        created           TIMESTAMP NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_votes_phone ON votes (phone_number)",
+    "CREATE INDEX idx_votes_contestant ON votes (contestant_number)",
+]

@@ -1,0 +1,85 @@
+"""Wikipedia: MediaWiki page-serving workload (Web-Oriented, Table 1)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from ...core.benchmark import BenchmarkModule, CLASS_WEB
+from ...rand import random_string
+from .procedures import PROCEDURES
+from .schema import (DDL, NAMESPACES, PAGES_PER_SF, REVISIONS_PER_PAGE,
+                     USERS_PER_SF)
+
+
+class WikipediaBenchmark(BenchmarkModule):
+    """Page views (anonymous + authenticated), watchlists, and edits."""
+
+    name = "wikipedia"
+    domain = "On-line Encyclopedia"
+    benchmark_class = CLASS_WEB
+    procedures = PROCEDURES
+
+    def ddl(self):
+        return DDL
+
+    def load_data(self, rng: random.Random) -> None:
+        users = max(2, int(USERS_PER_SF * self.scale_factor))
+        pages = max(2, int(PAGES_PER_SF * self.scale_factor))
+
+        self.database.bulk_insert("useracct", [
+            (user_id, f"User_{user_id:08d}", 0.0, rng.randint(0, 100))
+            for user_id in range(users)])
+
+        rev_counter = itertools.count(1)
+        text_counter = itertools.count(1)
+        page_rows, revision_rows, text_rows, watch_rows = [], [], [], []
+        for page_id in range(pages):
+            namespace = page_id % NAMESPACES
+            title = f"Page_{page_id:08d}"
+            latest = 0
+            for _ in range(rng.randint(1, REVISIONS_PER_PAGE)):
+                rev_id = next(rev_counter)
+                text_id = next(text_counter)
+                text_rows.append(
+                    (text_id, random_string(rng, 200, 1000), page_id))
+                revision_rows.append(
+                    (rev_id, page_id, text_id, rng.randrange(users), 0.0))
+                latest = rev_id
+            page_rows.append((page_id, namespace, title, latest, 0.0))
+            for user_id in rng.sample(range(users), rng.randint(0, 2)):
+                watch_rows.append((user_id, namespace, title, None))
+            if len(text_rows) >= 1000:
+                self._flush(page_rows, revision_rows, text_rows, watch_rows)
+                page_rows, revision_rows, text_rows, watch_rows = \
+                    [], [], [], []
+        self._flush(page_rows, revision_rows, text_rows, watch_rows)
+
+        self.params.update({
+            "user_count": users,
+            "page_count": pages,
+            "namespaces": NAMESPACES,
+            "revision_id_counter": rev_counter,
+            "text_id_counter": text_counter,
+        })
+
+    def _flush(self, pages, revisions, texts, watches) -> None:
+        if pages:
+            self.database.bulk_insert("page", pages)
+        if revisions:
+            self.database.bulk_insert("revision", revisions)
+        if texts:
+            self.database.bulk_insert("text", texts)
+        if watches:
+            self.database.bulk_insert("watchlist", watches)
+
+    def _derive_params(self) -> None:
+        self.params["user_count"] = int(
+            self.scalar("SELECT COUNT(*) FROM useracct") or 0) or 2
+        self.params["page_count"] = int(
+            self.scalar("SELECT COUNT(*) FROM page") or 0) or 2
+        self.params["namespaces"] = NAMESPACES
+        self.params["revision_id_counter"] = itertools.count(
+            int(self.scalar("SELECT MAX(rev_id) FROM revision") or 0) + 1)
+        self.params["text_id_counter"] = itertools.count(
+            int(self.scalar("SELECT MAX(old_id) FROM text") or 0) + 1)

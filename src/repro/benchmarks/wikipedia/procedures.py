@@ -1,0 +1,157 @@
+"""Wikipedia's five transactions; page reads dominate (trace-derived mix)."""
+
+from __future__ import annotations
+
+import random
+
+from ...core.procedure import Procedure, UserAbort
+from ...errors import IntegrityError
+from ...rand import ZipfGenerator, random_string
+
+
+class _WikipediaProcedure(Procedure):
+
+    def _page_zipf(self) -> ZipfGenerator:
+        cache = self.params.setdefault("_zipf_cache", {})
+        count = int(self.params["page_count"])
+        zipf = cache.get(count)
+        if zipf is None:
+            zipf = ZipfGenerator(count, theta=0.8)
+            cache[count] = zipf
+        return zipf
+
+    def _pick_page(self, rng: random.Random) -> tuple[int, str]:
+        page_id = self._page_zipf().next(rng)
+        namespace = page_id % int(self.params["namespaces"])
+        return namespace, f"Page_{page_id:08d}"
+
+    def _pick_user(self, rng: random.Random) -> int:
+        return rng.randrange(int(self.params["user_count"]))
+
+    def _fetch_page(self, cur, namespace: int, title: str):
+        cur.execute(
+            "SELECT page_id, page_latest FROM page "
+            "WHERE page_namespace = ? AND page_title = ?",
+            (namespace, title))
+        return self.fetch_one(cur, f"no page {title!r}")
+
+
+class GetPageAnonymous(_WikipediaProcedure):
+    """Anonymous page view: page -> latest revision -> text."""
+
+    name = "GetPageAnonymous"
+    read_only = True
+    default_weight = 92
+
+    def run(self, conn, rng):
+        namespace, title = self._pick_page(rng)
+        cur = conn.cursor()
+        page_id, latest = self._fetch_page(cur, namespace, title)
+        cur.execute(
+            "SELECT rev_text_id FROM revision WHERE rev_id = ?", (latest,))
+        text_id = self.fetch_one(cur, "missing latest revision")[0]
+        cur.execute("SELECT old_text FROM text WHERE old_id = ?", (text_id,))
+        text = self.fetch_one(cur, "missing revision text")[0]
+        conn.commit()
+        return len(text)
+
+
+class GetPageAuthenticated(_WikipediaProcedure):
+    """Logged-in page view: also touches the user row and watchlist."""
+
+    name = "GetPageAuthenticated"
+    read_only = True
+    default_weight = 5
+
+    def run(self, conn, rng):
+        user_id = self._pick_user(rng)
+        namespace, title = self._pick_page(rng)
+        cur = conn.cursor()
+        cur.execute("SELECT user_name FROM useracct WHERE user_id = ?",
+                    (user_id,))
+        self.fetch_one(cur, "missing user")
+        page_id, latest = self._fetch_page(cur, namespace, title)
+        cur.execute(
+            "SELECT wl_notificationtimestamp FROM watchlist "
+            "WHERE wl_user = ? AND wl_namespace = ? AND wl_title = ?",
+            (user_id, namespace, title))
+        cur.fetchall()
+        cur.execute(
+            "SELECT rev_text_id FROM revision WHERE rev_id = ?", (latest,))
+        text_id = self.fetch_one(cur, "missing latest revision")[0]
+        cur.execute("SELECT old_text FROM text WHERE old_id = ?", (text_id,))
+        self.fetch_one(cur, "missing revision text")
+        conn.commit()
+
+
+class AddWatchList(_WikipediaProcedure):
+    name = "AddWatchList"
+    default_weight = 1
+
+    def run(self, conn, rng):
+        user_id = self._pick_user(rng)
+        namespace, title = self._pick_page(rng)
+        cur = conn.cursor()
+        try:
+            cur.execute(
+                "INSERT INTO watchlist (wl_user, wl_namespace, wl_title, "
+                "wl_notificationtimestamp) VALUES (?, ?, ?, ?)",
+                (user_id, namespace, title, None))
+        except IntegrityError as exc:
+            raise UserAbort("already watching") from exc
+        cur.execute(
+            "UPDATE useracct SET user_touched = ? WHERE user_id = ?",
+            (0.0, user_id))
+        conn.commit()
+
+
+class RemoveWatchList(_WikipediaProcedure):
+    name = "RemoveWatchList"
+    default_weight = 1
+
+    def run(self, conn, rng):
+        user_id = self._pick_user(rng)
+        namespace, title = self._pick_page(rng)
+        cur = conn.cursor()
+        cur.execute(
+            "DELETE FROM watchlist "
+            "WHERE wl_user = ? AND wl_namespace = ? AND wl_title = ?",
+            (user_id, namespace, title))
+        cur.execute(
+            "UPDATE useracct SET user_touched = ? WHERE user_id = ?",
+            (0.0, user_id))
+        conn.commit()
+
+
+class UpdatePage(_WikipediaProcedure):
+    """Edit: insert new text + revision, bump page_latest and editcount."""
+
+    name = "UpdatePage"
+    default_weight = 1
+
+    def run(self, conn, rng):
+        user_id = self._pick_user(rng)
+        namespace, title = self._pick_page(rng)
+        cur = conn.cursor()
+        page_id, _latest = self._fetch_page(cur, namespace, title)
+        rev_id = next(self.params["revision_id_counter"])
+        text_id = next(self.params["text_id_counter"])
+        cur.execute(
+            "INSERT INTO text (old_id, old_text, old_page) VALUES (?, ?, ?)",
+            (text_id, random_string(rng, 200, 1000), page_id))
+        cur.execute(
+            "INSERT INTO revision (rev_id, rev_page, rev_text_id, rev_user, "
+            "rev_timestamp) VALUES (?, ?, ?, ?, ?)",
+            (rev_id, page_id, text_id, user_id, 0.0))
+        cur.execute(
+            "UPDATE page SET page_latest = ?, page_touched = ? "
+            "WHERE page_id = ?", (rev_id, 0.0, page_id))
+        cur.execute(
+            "UPDATE useracct SET user_editcount = user_editcount + 1, "
+            "user_touched = ? WHERE user_id = ?", (0.0, user_id))
+        conn.commit()
+        return rev_id
+
+
+PROCEDURES = (AddWatchList, GetPageAnonymous, GetPageAuthenticated,
+              RemoveWatchList, UpdatePage)

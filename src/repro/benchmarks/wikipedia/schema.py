@@ -1,0 +1,55 @@
+"""Wikipedia schema: the MediaWiki core tables OLTP-Bench exercises."""
+
+USERS_PER_SF = 100
+PAGES_PER_SF = 200
+REVISIONS_PER_PAGE = 3
+NAMESPACES = 4
+
+DDL = [
+    """
+    CREATE TABLE useracct (
+        user_id      INT PRIMARY KEY,
+        user_name    VARCHAR(255) NOT NULL,
+        user_touched TIMESTAMP NOT NULL,
+        user_editcount INT NOT NULL
+    )
+    """,
+    "CREATE UNIQUE INDEX idx_useracct_name ON useracct (user_name)",
+    """
+    CREATE TABLE page (
+        page_id        INT PRIMARY KEY,
+        page_namespace INT NOT NULL,
+        page_title     VARCHAR(255) NOT NULL,
+        page_latest    INT NOT NULL,
+        page_touched   TIMESTAMP NOT NULL
+    )
+    """,
+    "CREATE UNIQUE INDEX idx_page_title ON page (page_namespace, page_title)",
+    """
+    CREATE TABLE watchlist (
+        wl_user      INT NOT NULL,
+        wl_namespace INT NOT NULL,
+        wl_title     VARCHAR(255) NOT NULL,
+        wl_notificationtimestamp TIMESTAMP,
+        PRIMARY KEY (wl_user, wl_namespace, wl_title)
+    )
+    """,
+    "CREATE INDEX idx_watchlist_user ON watchlist (wl_user)",
+    """
+    CREATE TABLE revision (
+        rev_id        INT PRIMARY KEY,
+        rev_page      INT NOT NULL,
+        rev_text_id   INT NOT NULL,
+        rev_user      INT NOT NULL,
+        rev_timestamp TIMESTAMP NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_revision_page ON revision (rev_page)",
+    """
+    CREATE TABLE text (
+        old_id   INT PRIMARY KEY,
+        old_text VARCHAR(4096) NOT NULL,
+        old_page INT NOT NULL
+    )
+    """,
+]

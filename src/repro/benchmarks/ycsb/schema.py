@@ -1,0 +1,25 @@
+"""YCSB schema: the classic single USERTABLE with ten payload fields."""
+
+FIELD_COUNT = 10
+FIELD_LENGTH = 100
+
+#: Rows per unit of scale factor (OLTP-Bench loads 1,000 * SF records).
+RECORDS_PER_SF = 1_000
+
+DDL = [
+    """
+    CREATE TABLE usertable (
+        ycsb_key INT PRIMARY KEY,
+        field1  VARCHAR(100) NOT NULL,
+        field2  VARCHAR(100) NOT NULL,
+        field3  VARCHAR(100) NOT NULL,
+        field4  VARCHAR(100) NOT NULL,
+        field5  VARCHAR(100) NOT NULL,
+        field6  VARCHAR(100) NOT NULL,
+        field7  VARCHAR(100) NOT NULL,
+        field8  VARCHAR(100) NOT NULL,
+        field9  VARCHAR(100) NOT NULL,
+        field10 VARCHAR(100) NOT NULL
+    )
+    """,
+]

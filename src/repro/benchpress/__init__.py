@@ -1,0 +1,21 @@
+"""BenchPress: the game layer over OLTP-Bench (paper §4)."""
+
+from .challenges import (Challenge, Course, Obstacle, challenge_from_config,
+                         peak, sinusoidal, steps, tunnel)
+from .game import (GameSession, STATE_COMPLETED, STATE_CRASHED,
+                   STATE_READY, STATE_RUNNING)
+from .physics import Character
+from .pilots import (AdaptivePilot, GreedyPilot, NoInputPilot,
+                     PerfectPilot, Pilot, ScriptedPilot)
+from .render import render_frame
+from .twoplayer import PlayerSpec, TwoPlayerGame
+
+__all__ = [
+    "Challenge", "Course", "Obstacle", "challenge_from_config",
+    "peak", "sinusoidal", "steps", "tunnel",
+    "GameSession", "STATE_COMPLETED", "STATE_CRASHED", "STATE_READY",
+    "STATE_RUNNING", "Character",
+    "AdaptivePilot", "GreedyPilot", "NoInputPilot", "PerfectPilot",
+    "Pilot", "ScriptedPilot",
+    "render_frame", "PlayerSpec", "TwoPlayerGame",
+]

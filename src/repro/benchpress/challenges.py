@@ -1,0 +1,234 @@
+"""Challenge shapes (paper §4.1.2): Steps, Sinusoidal, Peak, Tunnels.
+
+A challenge is a sequence of :class:`Obstacle` corridors: at time ``t`` the
+character (the DBMS's delivered throughput) must fly inside
+``[low(t), high(t)]`` or crash.  Tunnels are *autopilot zones*: user input
+is ignored and the DBMS must hold a constant tight corridor on its own.
+
+Challenges can also be loaded from configuration dictionaries, matching the
+paper's "new challenges can be created using a configuration file".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Obstacle:
+    """A corridor the throughput must stay inside for a time span."""
+
+    start: float
+    duration: float
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigurationError("obstacle duration must be positive")
+        if self.low < 0 or self.high <= self.low:
+            raise ConfigurationError(
+                f"invalid corridor [{self.low}, {self.high}]")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def target(self) -> float:
+        """The corridor midpoint: what a perfect pilot requests."""
+        return (self.low + self.high) / 2.0
+
+    def contains_time(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+    def contains_altitude(self, altitude: float) -> bool:
+        return self.low <= altitude <= self.high
+
+
+@dataclass(frozen=True)
+class Challenge:
+    """A named series of obstacles, optionally an autopilot zone."""
+
+    name: str
+    shape: str
+    obstacles: tuple[Obstacle, ...]
+    autopilot: bool = False
+
+    @property
+    def start(self) -> float:
+        return self.obstacles[0].start
+
+    @property
+    def end(self) -> float:
+        return self.obstacles[-1].end
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def obstacle_at(self, t: float) -> Optional[Obstacle]:
+        for obstacle in self.obstacles:
+            if obstacle.contains_time(t):
+                return obstacle
+        return None
+
+    def target_at(self, t: float) -> Optional[float]:
+        obstacle = self.obstacle_at(t)
+        return obstacle.target if obstacle else None
+
+    def shifted(self, offset: float) -> "Challenge":
+        return Challenge(self.name, self.shape, tuple(
+            Obstacle(o.start + offset, o.duration, o.low, o.high)
+            for o in self.obstacles), self.autopilot)
+
+
+# ---------------------------------------------------------------------------
+# The four shapes of §4.1.2
+# ---------------------------------------------------------------------------
+
+
+def steps(base: float, step: float, count: int, width: float,
+          corridor: float = 0.4, start: float = 0.0,
+          descending: bool = False, name: str = "steps") -> Challenge:
+    """Increasing (or decreasing) throughput levels.
+
+    "This simulates an increasing load on the database; at some point the
+    DBMS will become saturated and be unable to process any more
+    transactions."
+    """
+    if count <= 0:
+        raise ConfigurationError("steps challenge needs at least one step")
+    obstacles = []
+    for i in range(count):
+        level = base + step * (count - 1 - i if descending else i)
+        half = max(1.0, level * corridor / 2.0)
+        obstacles.append(Obstacle(start + i * width, width,
+                                  max(0.0, level - half), level + half))
+    return Challenge(name, "steps", tuple(obstacles))
+
+
+def sinusoidal(center: float, amplitude: float, period: float,
+               duration: float, corridor: float = 0.4,
+               start: float = 0.0, resolution: float = 1.0,
+               name: str = "sinusoidal") -> Challenge:
+    """Recurring up-and-down pattern.
+
+    "This demonstrates a fluctuating load and tests the ability of the
+    DBMS to gracefully respond without much jitter."
+    """
+    if amplitude >= center:
+        raise ConfigurationError("amplitude must be below the center level")
+    obstacles = []
+    t = 0.0
+    while t < duration:
+        span = min(resolution, duration - t)
+        level = center + amplitude * math.sin(2 * math.pi * t / period)
+        half = max(1.0, level * corridor / 2.0)
+        obstacles.append(Obstacle(start + t, span,
+                                  max(0.0, level - half), level + half))
+        t += span
+    return Challenge(name, "sinusoidal", tuple(obstacles))
+
+
+def peak(low: float, high: float, lead: float, burst: float,
+         tail: float, corridor: float = 0.5, start: float = 0.0,
+         name: str = "peak") -> Challenge:
+    """Steady state, a short burst, then back to normal.
+
+    "This will show the ability of a DBMS to respond to some sporadic and
+    sudden increase in load."
+    """
+    if high <= low:
+        raise ConfigurationError("peak level must exceed the steady level")
+    half_low = max(1.0, low * corridor / 2.0)
+    half_high = max(1.0, high * corridor / 2.0)
+    obstacles = (
+        Obstacle(start, lead, max(0.0, low - half_low), low + half_low),
+        Obstacle(start + lead, burst, max(0.0, high - half_high),
+                 high + half_high),
+        Obstacle(start + lead + burst, tail, max(0.0, low - half_low),
+                 low + half_low),
+    )
+    return Challenge(name, "peak", obstacles)
+
+
+def tunnel(level: float, duration: float, corridor: float = 0.2,
+           start: float = 0.0, name: str = "tunnel") -> Challenge:
+    """Autopilot zone: a long constant tight corridor.
+
+    "This challenge expects the DBMS to deliver a constant tight
+    throughput for a long period of time" — jittery engines fail it.
+    """
+    half = max(1.0, level * corridor / 2.0)
+    obstacle = Obstacle(start, duration, max(0.0, level - half),
+                        level + half)
+    return Challenge(name, "tunnel", (obstacle,), autopilot=True)
+
+
+SHAPE_BUILDERS: dict[str, Callable[..., Challenge]] = {
+    "steps": steps,
+    "sinusoidal": sinusoidal,
+    "peak": peak,
+    "tunnel": tunnel,
+}
+
+
+def challenge_from_config(config: dict) -> Challenge:
+    """Build a challenge from a configuration dictionary.
+
+    ``{"shape": "steps", "base": 50, "step": 25, "count": 4, "width": 10}``
+    """
+    raw = dict(config)
+    shape = raw.pop("shape", None)
+    if shape not in SHAPE_BUILDERS:
+        known = ", ".join(sorted(SHAPE_BUILDERS))
+        raise ConfigurationError(
+            f"unknown challenge shape {shape!r}; available: {known}")
+    return SHAPE_BUILDERS[shape](**raw)
+
+
+@dataclass
+class Course:
+    """A horizontally scrolling obstacle course: challenges end to end."""
+
+    challenges: list[Challenge] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, challenges: Sequence[Challenge],
+              gap: float = 5.0, start: float = 0.0) -> "Course":
+        """Lay out challenges sequentially with a recovery gap between."""
+        course = cls()
+        cursor = start
+        for challenge in challenges:
+            course.challenges.append(challenge.shifted(
+                cursor - challenge.start))
+            cursor = course.challenges[-1].end + gap
+        return course
+
+    @property
+    def end(self) -> float:
+        return self.challenges[-1].end if self.challenges else 0.0
+
+    def challenge_at(self, t: float) -> Optional[Challenge]:
+        for challenge in self.challenges:
+            if challenge.start <= t < challenge.end:
+                return challenge
+        return None
+
+    def obstacle_at(self, t: float) -> Optional[Obstacle]:
+        challenge = self.challenge_at(t)
+        return challenge.obstacle_at(t) if challenge else None
+
+    def target_fn(self, default: float = 0.0) -> Callable[[float], float]:
+        """Map time -> corridor midpoint (for tracking analysis)."""
+
+        def fn(t: float) -> float:
+            obstacle = self.obstacle_at(t)
+            return obstacle.target if obstacle else default
+
+        return fn

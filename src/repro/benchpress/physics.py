@@ -1,0 +1,81 @@
+"""Character physics (paper §4.1).
+
+The character's vertical position *is* the DBMS's delivered throughput —
+the player only controls the *requested* rate.  Two forces act on the
+requested rate:
+
+* **jump** — the player asks for a higher target ("a jump requests a
+  higher throughput rate and makes the game character move upwards");
+* **gravity** — with no input, "the throughput automatically decreases
+  linearly until reaching 0 transactions per second, at which point the
+  character falls on the floor."
+
+The gap between requested and delivered altitude is the game's core
+insight: "the movement of the character however only reflects the actual
+throughput delivered by the DBMS rather than the requested one."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Character:
+    """The player avatar: requested rate + measured altitude."""
+
+    requested_rate: float = 0.0
+    altitude: float = 0.0  # delivered throughput, set from measurements
+    gravity: float = 10.0  # tps lost per second without input
+    jump_boost: float = 20.0  # tps gained per jump press
+    max_rate: float = 100_000.0
+    grounded: bool = True
+    _input_this_tick: bool = field(default=False, repr=False)
+
+    # -- player input -----------------------------------------------------
+
+    def jump(self, boost: float | None = None) -> float:
+        """Request a higher throughput; returns the new requested rate."""
+        self.requested_rate = min(
+            self.max_rate,
+            self.requested_rate + (boost if boost is not None
+                                   else self.jump_boost))
+        self.grounded = False
+        self._input_this_tick = True
+        return self.requested_rate
+
+    def duck(self, drop: float | None = None) -> float:
+        """Manually decrease the target (the alternative setup of §4.1)."""
+        self.requested_rate = max(
+            0.0, self.requested_rate - (drop if drop is not None
+                                        else self.jump_boost))
+        self._input_this_tick = True
+        return self.requested_rate
+
+    def set_requested(self, rate: float) -> float:
+        self.requested_rate = max(0.0, min(self.max_rate, rate))
+        self.grounded = self.requested_rate == 0.0
+        self._input_this_tick = True
+        return self.requested_rate
+
+    # -- simulation -----------------------------------------------------------
+
+    def apply_gravity(self, dt: float) -> float:
+        """Linear decay of the requested rate when no input arrived."""
+        if not self._input_this_tick:
+            self.requested_rate = max(
+                0.0, self.requested_rate - self.gravity * dt)
+            if self.requested_rate == 0.0:
+                self.grounded = True
+        self._input_this_tick = False
+        return self.requested_rate
+
+    def observe(self, delivered_tps: float) -> float:
+        """Move the character to the *measured* throughput."""
+        self.altitude = max(0.0, delivered_tps)
+        return self.altitude
+
+    @property
+    def falling_short(self) -> float:
+        """How far delivery lags the request (DBMS can't keep up)."""
+        return max(0.0, self.requested_rate - self.altitude)

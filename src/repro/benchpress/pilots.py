@@ -1,0 +1,137 @@
+"""Input sources for headless play.
+
+The SIGMOD demo reads a keyboard/controller; the reproduction drives the
+same game loop with programmable pilots so challenges are testable:
+
+* :class:`PerfectPilot` — always requests the current corridor midpoint
+  (isolates DBMS behaviour from player skill: any crash is the DBMS);
+* :class:`GreedyPilot` — always requests more than the corridor allows,
+  the "hold the jump button" player;
+* :class:`NoInputPilot` — never presses anything (gravity demo);
+* :class:`ScriptedPilot` — replays a list of timed actions, for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .game import GameSession
+
+
+class Pilot:
+    """Base input source; ``act`` runs once per game tick."""
+
+    def act(self, session: "GameSession", now: float) -> None:
+        raise NotImplementedError
+
+
+class NoInputPilot(Pilot):
+    """Touch nothing: gravity pulls the requested rate to zero."""
+
+    def act(self, session: "GameSession", now: float) -> None:
+        return None
+
+
+@dataclass
+class PerfectPilot(Pilot):
+    """Track the corridor midpoint, anticipating by ``lookahead`` seconds.
+
+    The anticipation mirrors a human seeing obstacles scroll toward the
+    character before reaching them.
+    """
+
+    lookahead: float = 1.0
+
+    def act(self, session: "GameSession", now: float) -> None:
+        course = session.course
+        obstacle = (course.obstacle_at(now + self.lookahead)
+                    or course.obstacle_at(now))
+        if obstacle is not None:
+            session.character.set_requested(obstacle.target)
+
+
+@dataclass
+class GreedyPilot(Pilot):
+    """Always ask for ``factor`` times the corridor ceiling (or jump)."""
+
+    factor: float = 1.5
+
+    def act(self, session: "GameSession", now: float) -> None:
+        obstacle = session.course.obstacle_at(now)
+        if obstacle is not None:
+            session.character.set_requested(obstacle.high * self.factor)
+        else:
+            session.character.jump()
+
+
+@dataclass
+class AdaptivePilot(Pilot):
+    """Monitoring-guided play (paper §4.2).
+
+    "This information can be useful for the user to predict potential
+    drops in performance (e.g., when getting close to being CPU-bound).
+    Hence, the user can take the necessary actions to prevent an eventual
+    crash into an obstacle by tuning down the transaction rate..."
+
+    The pilot tracks the corridor like :class:`PerfectPilot`, but watches
+    the server monitor's saturation signal (lock-wait time per second):
+    when it rises past ``lock_wait_threshold``, the pilot both eases the
+    requested rate toward the corridor *floor* and — mirroring §4.2's
+    "lower the percentage of write-intensive transactions" — switches to
+    the read-only preset until the signal clears.
+    """
+
+    monitor: object = None  # an EngineMonitor
+    lookahead: float = 1.0
+    lock_wait_threshold: float = 0.05  # seconds of lock wait per second
+    _defensive: bool = field(default=False, repr=False)
+
+    def act(self, session: "GameSession", now: float) -> None:
+        course = session.course
+        obstacle = (course.obstacle_at(now + self.lookahead)
+                    or course.obstacle_at(now))
+        if obstacle is None:
+            return
+        saturated = (self.monitor is not None
+                     and self.monitor.saturation_signal()
+                     > self.lock_wait_threshold)
+        if saturated and not self._defensive:
+            self._defensive = True
+            try:
+                session.change_mixture("read-only")
+            except Exception:
+                pass  # benchmark may have no read-only preset
+        elif not saturated and self._defensive:
+            self._defensive = False
+            try:
+                session.change_mixture("default")
+            except Exception:
+                pass
+        if saturated:
+            # Aim low in the corridor: margin against jitter and queueing.
+            session.character.set_requested(
+                obstacle.low + (obstacle.target - obstacle.low) * 0.5)
+        else:
+            session.character.set_requested(obstacle.target)
+
+
+@dataclass
+class ScriptedPilot(Pilot):
+    """Replay (time, callable) actions; each fires once when due.
+
+    Actions receive the session, e.g.::
+
+        ScriptedPilot([(5.0, lambda s: s.character.jump()),
+                       (9.0, lambda s: s.change_mixture("read-only"))])
+    """
+
+    script: Sequence[tuple[float, Callable[["GameSession"], None]]] = ()
+    _fired: set[int] = field(default_factory=set)
+
+    def act(self, session: "GameSession", now: float) -> None:
+        for index, (when, action) in enumerate(self.script):
+            if index not in self._fired and now >= when:
+                self._fired.add(index)
+                action(session)

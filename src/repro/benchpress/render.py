@@ -1,0 +1,55 @@
+"""ASCII rendering of the side-scroller, replacing the browser canvas.
+
+Frames show a time window of the course with pipe obstacles (``|`` walls,
+the opening being the corridor) and the character ``@`` at its measured
+altitude; ``+`` marks the requested rate when it differs visibly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .challenges import Course
+from .game import GameSession
+
+
+def render_frame(session: GameSession, now: float, width: int = 64,
+                 height: int = 16, horizon: float = 32.0) -> str:
+    """Render the next ``horizon`` seconds of course as ASCII art."""
+    course = session.course
+    max_alt = _max_altitude(course, session)
+    grid = [[" "] * width for _ in range(height)]
+
+    for column in range(width):
+        t = now + (column / width) * horizon
+        obstacle = course.obstacle_at(t)
+        if obstacle is None:
+            continue
+        low_row = _row_for(obstacle.low, max_alt, height)
+        high_row = _row_for(obstacle.high, max_alt, height)
+        for row in range(height):
+            if row > low_row or row < high_row:
+                grid[row][column] = "|"
+
+    char_row = _row_for(session.character.altitude, max_alt, height)
+    grid[char_row][0] = "@"
+    req_row = _row_for(session.character.requested_rate, max_alt, height)
+    if req_row != char_row and grid[req_row][0] == " ":
+        grid[req_row][0] = "+"
+
+    lines = ["".join(row) for row in grid]
+    footer = (f"t={now:7.1f}s alt={session.character.altitude:8.1f} "
+              f"req={session.character.requested_rate:8.1f} "
+              f"score={session.score:6.1f} [{session.state}]")
+    return "\n".join(lines + ["-" * width, footer])
+
+
+def _max_altitude(course: Course, session: GameSession) -> float:
+    tops = [o.high for c in course.challenges for o in c.obstacles]
+    ceiling = max(tops) if tops else 100.0
+    return max(ceiling * 1.2, session.character.altitude * 1.1, 1.0)
+
+
+def _row_for(altitude: float, max_alt: float, height: int) -> int:
+    fraction = min(1.0, max(0.0, altitude / max_alt))
+    return min(height - 1, int(round((1.0 - fraction) * (height - 1))))

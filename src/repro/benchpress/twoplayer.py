@@ -1,0 +1,76 @@
+"""Two-player mode (paper §4.3).
+
+"The two-player version of the game allows the players to experience in
+real-time the effects of multi-tenancy, with one player affecting the
+other."  Both players run their own workload/tenant against the *same*
+database instance; the shared load tracker makes each player's requested
+throughput degrade the other's delivered throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..api.control import ControlApi
+from ..clock import SimClock
+from ..core.config import WorkloadConfiguration
+from ..core.executors import SimulatedExecutor
+from ..core.manager import WorkloadManager
+from ..engine.database import Database
+from ..engine.service import DbmsPersonality
+from .challenges import Course
+from .game import GameSession
+from .physics import Character
+from .pilots import Pilot
+
+
+@dataclass
+class PlayerSpec:
+    """One player's setup: benchmark, config, course, and pilot."""
+
+    benchmark: object  # a loaded BenchmarkModule
+    config: WorkloadConfiguration
+    course: Course
+    pilot: Optional[Pilot] = None
+    character: Optional[Character] = None
+
+
+class TwoPlayerGame:
+    """Runs two game sessions against one shared simulated DBMS."""
+
+    def __init__(self, database: Database,
+                 personality: DbmsPersonality | str = "mysql") -> None:
+        self.database = database
+        self.clock = SimClock()
+        self.executor = SimulatedExecutor(database, personality, self.clock)
+        self.control = ControlApi()
+        self.sessions: list[GameSession] = []
+
+    def add_player(self, spec: PlayerSpec) -> GameSession:
+        if len(self.sessions) >= 2:
+            raise ValueError("two-player game already has two players")
+        spec.config.tenant = spec.config.tenant or \
+            f"player-{len(self.sessions) + 1}"
+        manager = WorkloadManager(spec.benchmark, spec.config,
+                                  clock=self.clock)
+        self.executor.add_workload(manager)
+        self.control.register(manager)
+        session = GameSession(
+            self.control, spec.config.tenant, spec.course,
+            character=spec.character, pilot=spec.pilot,
+            halt_on_crash=False)  # a crash must not stop the rival's DBMS
+        self.sessions.append(session)
+        return session
+
+    def run(self, tick: float = 1.0, until: Optional[float] = None) -> None:
+        if len(self.sessions) != 2:
+            raise ValueError("two players are required")
+        for session in self.sessions:
+            session.run_on(self.executor, tick=tick)
+        horizon = until if until is not None else max(
+            s.course.end for s in self.sessions) + 5.0
+        self.executor.run(until=horizon)
+
+    def summaries(self) -> list[dict]:
+        return [session.summary() for session in self.sessions]

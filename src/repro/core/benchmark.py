@@ -1,0 +1,161 @@
+"""Benchmark module base class and loader utilities.
+
+A :class:`BenchmarkModule` bundles everything OLTP-Bench knows about one
+workload: the schema DDL, the data loader, the transaction procedures with
+their default mixture, and the preset mixtures the BenchPress game exposes
+(default / read-only / super-writes, paper Fig. 2d).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import ClassVar, Mapping, Optional, Sequence, Type
+
+from ..engine.database import Database
+from ..errors import BenchmarkError, ConfigurationError
+from ..rand import make_rng
+from .phase import normalize_weights
+from .procedure import Procedure
+
+CLASS_TRANSACTIONAL = "Transactional"
+CLASS_WEB = "Web-Oriented"
+CLASS_FEATURE = "Feature Testing"
+
+
+class BenchmarkModule:
+    """Base class every built-in benchmark extends."""
+
+    #: Registry key, e.g. ``"tpcc"``.
+    name: ClassVar[str] = ""
+    #: Human-readable application domain (paper Table 1).
+    domain: ClassVar[str] = ""
+    #: One of the three classes in paper Table 1.
+    benchmark_class: ClassVar[str] = CLASS_TRANSACTIONAL
+    #: Procedure classes in mixture order.
+    procedures: ClassVar[Sequence[Type[Procedure]]] = ()
+
+    def __init__(self, database: Database, scale_factor: float = 1.0,
+                 seed: Optional[int] = None) -> None:
+        if scale_factor <= 0:
+            raise ConfigurationError("scale_factor must be positive")
+        self.database = database
+        self.scale_factor = scale_factor
+        self.seed = seed
+        #: Loader-derived parameters passed to every procedure instance
+        #: (e.g. number of warehouses, accounts, users).
+        self.params: dict[str, object] = {}
+        self._loaded = False
+
+    # -- hooks subclasses implement ------------------------------------------
+
+    def ddl(self) -> Sequence[str]:
+        """CREATE TABLE / CREATE INDEX statements, in execution order."""
+        raise NotImplementedError
+
+    def load_data(self, rng: random.Random) -> None:
+        """Populate tables (typically via ``database.bulk_insert``)."""
+        raise NotImplementedError
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def create_schema(self) -> None:
+        for statement in self.ddl():
+            self.database.execute(None, statement)
+
+    def load(self) -> None:
+        """Create the schema and load the dataset for this scale factor."""
+        self.create_schema()
+        self.load_data(make_rng(self.seed, self.name, "load"))
+        self._loaded = True
+
+    @property
+    def loaded(self) -> bool:
+        return self._loaded
+
+    # -- dump/restore support -------------------------------------------------
+
+    def scalar(self, sql: str, params=()) -> object:
+        """Run a single-value query outside any workload transaction."""
+        txn = self.database.begin()
+        try:
+            rows = self.database.execute(txn, sql, params).rows
+            return rows[0][0] if rows else None
+        finally:
+            self.database.rollback(txn)
+
+    def derive_params(self) -> None:
+        """Recompute ``self.params`` from already-present data.
+
+        Called instead of :meth:`load` when the database was populated from
+        a data dump (Fig. 1 "Data Dumps"): row counts and id counters are
+        re-derived with catalog queries.  Subclasses override
+        :meth:`_derive_params`.
+        """
+        self._derive_params()
+        self._loaded = True
+
+    def _derive_params(self) -> None:
+        raise BenchmarkError(
+            f"benchmark {self.name!r} does not support restoring from "
+            "a data dump")
+
+    # -- procedures / mixtures -------------------------------------------------
+
+    def procedure_names(self) -> list[str]:
+        return [proc.txn_name() for proc in self.procedures]
+
+    def make_procedure(self, txn_name: str) -> Procedure:
+        for proc_cls in self.procedures:
+            if proc_cls.txn_name() == txn_name:
+                return proc_cls(self.params)
+        raise BenchmarkError(
+            f"benchmark {self.name!r} has no transaction {txn_name!r}")
+
+    def default_weights(self) -> dict[str, float]:
+        weights = {proc.txn_name(): proc.default_weight
+                   for proc in self.procedures}
+        if sum(weights.values()) <= 0:
+            count = len(self.procedures)
+            weights = {proc.txn_name(): 100.0 / count
+                       for proc in self.procedures}
+        return normalize_weights(weights)
+
+    def preset_mixtures(self) -> dict[str, dict[str, float]]:
+        """The game's preset mixtures (paper Fig. 2d).
+
+        ``read-only`` keeps only read-only transactions; ``super-writes``
+        inverts that.  A benchmark with no transaction on one side keeps
+        the default mixture for that preset.
+        """
+        defaults = self.default_weights()
+        reads = {name: weight for name, weight in defaults.items()
+                 if self._is_read_only(name)}
+        writes = {name: weight for name, weight in defaults.items()
+                  if not self._is_read_only(name)}
+        presets = {"default": defaults}
+        presets["read-only"] = (normalize_weights(reads) if reads
+                                else dict(defaults))
+        presets["super-writes"] = (normalize_weights(writes) if writes
+                                   else dict(defaults))
+        return presets
+
+    def _is_read_only(self, txn_name: str) -> bool:
+        for proc_cls in self.procedures:
+            if proc_cls.txn_name() == txn_name:
+                return proc_cls.read_only
+        raise BenchmarkError(f"unknown transaction {txn_name!r}")
+
+    # -- reporting ---------------------------------------------------------------
+
+    def table_counts(self) -> dict[str, int]:
+        return {table: self.database.row_count(table)
+                for table in self.database.table_names()}
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "class": self.benchmark_class,
+            "domain": self.domain,
+            "transactions": self.procedure_names(),
+            "default_weights": self.default_weights(),
+        }

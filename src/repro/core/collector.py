@@ -1,0 +1,113 @@
+"""Rolling statistics for instantaneous feedback (paper §2.2.4).
+
+The control API reports "instantaneous feedback about the current execution
+throughput and average latency per transaction type".  The collector keeps
+per-second ring buckets so those queries are O(window) regardless of run
+length, unlike the full :class:`~repro.core.results.Results` history.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class _Bucket:
+    second: int
+    committed: int = 0
+    aborted: int = 0
+    errors: int = 0
+    latency_sum: float = 0.0
+    per_txn: dict[str, list] = field(default_factory=dict)  # name -> [n, sum]
+
+    def add(self, txn_name: str, latency: float, status: str) -> None:
+        if status == "ok":
+            self.committed += 1
+            self.latency_sum += latency
+            entry = self.per_txn.setdefault(txn_name, [0, 0.0])
+            entry[0] += 1
+            entry[1] += latency
+        elif status == "aborted":
+            self.aborted += 1
+        else:
+            self.errors += 1
+
+
+class StatisticsCollector:
+    """Fixed-size ring of per-second statistics buckets."""
+
+    def __init__(self, history_seconds: int = 300) -> None:
+        self.history_seconds = history_seconds
+        self._lock = threading.Lock()
+        self._buckets: dict[int, _Bucket] = {}
+
+    def record(self, end_time: float, txn_name: str, latency: float,
+               status: str) -> None:
+        second = int(end_time)
+        with self._lock:
+            bucket = self._buckets.get(second)
+            if bucket is None:
+                bucket = _Bucket(second)
+                self._buckets[second] = bucket
+                self._evict(second)
+            bucket.add(txn_name, latency, status)
+
+    def _evict(self, newest: int) -> None:
+        horizon = newest - self.history_seconds
+        for second in [s for s in self._buckets if s < horizon]:
+            del self._buckets[second]
+
+    # -- queries ------------------------------------------------------------
+
+    def instantaneous(self, now: float, window: float = 5.0) -> dict:
+        """Throughput and per-type average latency over the last window.
+
+        The current (incomplete) second is excluded so throughput is not
+        systematically under-reported mid-second.
+        """
+        current = int(now)
+        lo = current - int(window)
+        with self._lock:
+            chosen = [b for s, b in self._buckets.items()
+                      if lo <= s < current]
+        seconds = max(1, int(window))
+        committed = sum(b.committed for b in chosen)
+        aborted = sum(b.aborted for b in chosen)
+        per_txn: dict[str, dict[str, float]] = {}
+        totals: dict[str, list] = {}
+        for bucket in chosen:
+            for name, (count, total) in bucket.per_txn.items():
+                entry = totals.setdefault(name, [0, 0.0])
+                entry[0] += count
+                entry[1] += total
+        for name, (count, total) in totals.items():
+            per_txn[name] = {
+                "throughput": count / seconds,
+                "avg_latency": total / count if count else 0.0,
+            }
+        total_latency = sum(b.latency_sum for b in chosen)
+        return {
+            "throughput": committed / seconds,
+            "aborts_per_sec": aborted / seconds,
+            "avg_latency": total_latency / committed if committed else 0.0,
+            "per_txn": per_txn,
+        }
+
+    def throughput_series(self, start: Optional[int] = None,
+                          end: Optional[int] = None) -> list[tuple[int, int]]:
+        with self._lock:
+            items = sorted(self._buckets.items())
+        series = []
+        for second, bucket in items:
+            if start is not None and second < start:
+                continue
+            if end is not None and second >= end:
+                continue
+            series.append((second, bucket.committed))
+        return series
+
+    def reset(self) -> None:
+        with self._lock:
+            self._buckets.clear()

@@ -1,0 +1,170 @@
+"""Workload configuration: the Python analogue of OLTP-Bench's config.xml.
+
+A :class:`WorkloadConfiguration` bundles everything needed to run one
+workload: the benchmark name, scale factor, number of worker terminals,
+isolation level, RNG seed, and the list of execution phases.  Configurations
+load from plain dicts, JSON files, or an OLTP-Bench-style XML document
+(``<works><work>...</work></works>``).
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .phase import ARRIVAL_UNIFORM, Phase, RATE_DISABLED, RATE_UNLIMITED
+
+
+@dataclass
+class WorkloadConfiguration:
+    """Everything the Workload Manager needs to drive one benchmark."""
+
+    benchmark: str
+    scale_factor: float = 1.0
+    workers: int = 8
+    isolation: str = "serializable"
+    seed: Optional[int] = None
+    phases: list[Phase] = field(default_factory=list)
+    dbms: str = "inmem"
+    tenant: str = "tenant-0"
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ConfigurationError("workers must be positive")
+        if self.scale_factor <= 0:
+            raise ConfigurationError("scale_factor must be positive")
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, object]) -> "WorkloadConfiguration":
+        phases = [_phase_from_dict(p) for p in raw.get("phases", [])]
+        known = {"benchmark", "scale_factor", "workers", "isolation",
+                 "seed", "dbms", "tenant"}
+        kwargs = {k: raw[k] for k in known if k in raw}
+        if "benchmark" not in kwargs:
+            raise ConfigurationError("configuration requires 'benchmark'")
+        return cls(phases=phases, **kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "WorkloadConfiguration":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    @classmethod
+    def from_xml(cls, path: str | Path) -> "WorkloadConfiguration":
+        """Load an OLTP-Bench-flavoured XML configuration.
+
+        Recognised elements: ``<benchmark>``, ``<scalefactor>``,
+        ``<terminals>``, ``<isolation>``, ``<works><work>`` with ``<time>``,
+        ``<rate>``, ``<weights>`` (comma-separated, paired with
+        ``<transactiontypes>``), and ``<arrival>``.
+        """
+        tree = ET.parse(path)
+        root = tree.getroot()
+
+        def text(tag: str, default: Optional[str] = None) -> Optional[str]:
+            node = root.find(tag)
+            return node.text.strip() if node is not None and node.text else default
+
+        benchmark = text("benchmark")
+        if benchmark is None:
+            raise ConfigurationError("XML config missing <benchmark>")
+        txn_names = [
+            node.findtext("name", "").strip().lower()
+            for node in root.findall("./transactiontypes/transactiontype")
+        ]
+        phases = []
+        for work in root.findall("./works/work"):
+            duration = float(work.findtext("time", "60"))
+            rate_text = (work.findtext("rate") or RATE_UNLIMITED).strip().lower()
+            rate: object
+            if rate_text in (RATE_UNLIMITED, RATE_DISABLED):
+                rate = rate_text
+            else:
+                rate = float(rate_text)
+            weights_text = work.findtext("weights", "")
+            weights: dict[str, float] = {}
+            if weights_text:
+                values = [float(v) for v in weights_text.split(",")]
+                if txn_names and len(values) != len(txn_names):
+                    raise ConfigurationError(
+                        "weights count does not match transaction types")
+                names = txn_names or [f"txn{i}" for i in range(len(values))]
+                weights = dict(zip(names, values))
+            arrival = (work.findtext("arrival") or ARRIVAL_UNIFORM).strip().lower()
+            active_text = work.findtext("active_terminals")
+            active = int(active_text) if active_text else None
+            phases.append(Phase(duration=duration, rate=rate,
+                                weights=weights, arrival=arrival,
+                                active_workers=active))
+        return cls(
+            benchmark=benchmark.strip().lower(),
+            scale_factor=float(text("scalefactor", "1") or "1"),
+            workers=int(text("terminals", "8") or "8"),
+            isolation=(text("isolation", "serializable") or "serializable").lower(),
+            phases=phases,
+        )
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "scale_factor": self.scale_factor,
+            "workers": self.workers,
+            "isolation": self.isolation,
+            "seed": self.seed,
+            "dbms": self.dbms,
+            "tenant": self.tenant,
+            "phases": [_phase_to_dict(p) for p in self.phases],
+        }
+
+    def to_json(self, path: str | Path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def total_duration(self) -> float:
+        return sum(phase.duration for phase in self.phases)
+
+    def validated_against(self, txn_names: Sequence[str]) -> None:
+        """Check every phase's weights reference known transaction types."""
+        known = set(txn_names)
+        for i, phase in enumerate(self.phases):
+            unknown = set(phase.weights) - known
+            if unknown:
+                raise ConfigurationError(
+                    f"phase {i} references unknown transactions: "
+                    f"{sorted(unknown)}")
+
+
+def _phase_from_dict(raw: Mapping[str, object]) -> Phase:
+    kwargs = dict(raw)
+    active = kwargs.pop("active_workers", None)
+    return Phase(
+        duration=float(kwargs.pop("duration")),
+        rate=kwargs.pop("rate", RATE_UNLIMITED),
+        weights=dict(kwargs.pop("weights", {})),
+        arrival=str(kwargs.pop("arrival", ARRIVAL_UNIFORM)),
+        think_time=float(kwargs.pop("think_time", 0.0)),
+        active_workers=int(active) if active is not None else None,
+        name=str(kwargs.pop("name", "")),
+    )
+
+
+def _phase_to_dict(phase: Phase) -> dict[str, object]:
+    return {
+        "duration": phase.duration,
+        "rate": phase.rate,
+        "weights": dict(phase.weights),
+        "arrival": phase.arrival,
+        "think_time": phase.think_time,
+        "active_workers": phase.active_workers,
+        "name": phase.name,
+    }

@@ -1,0 +1,348 @@
+"""Execution substrates: real threads vs. discrete-event simulation.
+
+Both executors drive the *same* WorkloadManager, request queue, and
+benchmark transaction code against the *same* SQL engine; they differ only
+in how time passes:
+
+* :class:`ThreadedExecutor` — OLTP-Bench's architecture verbatim: a pacing
+  thread feeds the queue each second, worker threads pull requests, execute
+  them over DB-API connections, and sleep think times.  Real lock
+  contention, real blocking.  Subject to GIL scheduling noise, so it backs
+  the live demo and integration tests.
+* :class:`SimulatedExecutor` — a deterministic event loop over a
+  :class:`~repro.clock.SimClock`.  Transactions execute against the real
+  engine at dispatch time (real rows, real SQL); their *duration* in
+  virtual time is sampled from a :class:`DbmsPersonality` given the
+  transaction's read/write footprint and the server-wide load (a shared
+  :class:`LoadTracker` makes tenants interfere).  This is the substrate for
+  rate-control-precision experiments: exact, fast, reproducible.
+
+Both share a sever-wide load tracker so multi-tenant workloads contend for
+the same simulated capacity.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Optional
+
+from ..clock import Clock, RealClock, SimClock, StoppableSleeper
+from ..engine.database import Database
+from ..engine.dbapi import connect
+from ..engine.service import DbmsPersonality, LoadTracker, get_personality
+from ..errors import ConfigurationError, Error, TransactionAborted
+from ..rand import make_rng
+from .manager import WorkloadManager
+from .requestqueue import Request
+from .results import (LatencySample, STATUS_ABORTED, STATUS_ERROR, STATUS_OK)
+
+_TOKENS = itertools.count(1)
+
+
+def _run_procedure(proc, conn, rng) -> str:
+    """Execute one transaction attempt; returns the outcome status."""
+    try:
+        proc.run(conn, rng)
+        if conn.in_transaction:
+            conn.commit()
+        return STATUS_OK
+    except TransactionAborted:
+        conn.rollback()
+        return STATUS_ABORTED
+    except Error:
+        conn.rollback()
+        return STATUS_ERROR
+
+
+# ---------------------------------------------------------------------------
+# Threaded execution
+# ---------------------------------------------------------------------------
+
+
+class ThreadedExecutor:
+    """Runs workloads with real worker threads over wall-clock time."""
+
+    def __init__(self, database: Database,
+                 personality: Optional[DbmsPersonality] = None,
+                 clock: Optional[Clock] = None) -> None:
+        self.database = database
+        self.personality = personality
+        self.clock = clock or RealClock()
+        self.tracker = LoadTracker()
+        self._workloads: list[tuple[WorkloadManager, int]] = []
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+
+    def add_workload(self, manager: WorkloadManager,
+                     workers: Optional[int] = None) -> WorkloadManager:
+        self._workloads.append((manager, workers or manager.config.workers))
+        return manager
+
+    def run(self, timeout: Optional[float] = None) -> None:
+        """Execute all workloads to phase completion (or ``timeout``)."""
+        if not self._workloads:
+            raise ConfigurationError("no workloads added")
+        pacers = []
+        for manager, worker_count in self._workloads:
+            manager.begin_run(self.clock.now())
+            for worker_id in range(worker_count):
+                thread = threading.Thread(
+                    target=self._worker_loop, args=(manager, worker_id),
+                    name=f"{manager.tenant}-worker-{worker_id}", daemon=True)
+                self._threads.append(thread)
+                thread.start()
+            pacer = threading.Thread(
+                target=self._pacer_loop, args=(manager,),
+                name=f"{manager.tenant}-pacer", daemon=True)
+            pacers.append(pacer)
+            pacer.start()
+        deadline = (self.clock.now() + timeout) if timeout else None
+        for pacer in pacers:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - self.clock.now())
+            pacer.join(remaining)
+        self.stop()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def stop(self) -> None:
+        self._stop.set()
+        for manager, _count in self._workloads:
+            manager.stop()
+
+    # -- pacing ----------------------------------------------------------
+
+    def _pacer_loop(self, manager: WorkloadManager) -> None:
+        second = self.clock.now()
+        while not self._stop.is_set():
+            if manager.tick(second) is None:
+                return
+            second += 1.0
+            delay = second - self.clock.now()
+            if delay > 0:
+                self._stop.wait(delay)
+
+    # -- workers ------------------------------------------------------------
+
+    def _worker_loop(self, manager: WorkloadManager, worker_id: int) -> None:
+        conn = connect(self.database, isolation=manager.config.isolation)
+        rng = make_rng(manager.config.seed, "worker", manager.tenant,
+                       worker_id)
+        sleeper = StoppableSleeper()
+        try:
+            while not self._stop.is_set() and not manager.finished:
+                if manager.paused or not manager.worker_enabled(worker_id):
+                    self._stop.wait(0.01)
+                    continue
+                if manager.closed_loop:
+                    request = Request(self.clock.now(), 0)
+                else:
+                    request = manager.queue.take(timeout=0.2)
+                    if request is None:
+                        continue
+                self._execute(manager, worker_id, conn, rng, request)
+                think = manager.current_think_time()
+                if think > 0:
+                    sleeper.sleep(think)
+        finally:
+            conn.close()
+
+    def _execute(self, manager: WorkloadManager, worker_id: int, conn, rng,
+                 request: Request) -> None:
+        txn_name = manager.sample_txn_name(rng)
+        proc = manager.benchmark.make_procedure(txn_name)
+        started = self.clock.now()
+        queue_delay = max(0.0, started - request.arrival_time)
+        token = next(_TOKENS)
+        self.tracker.started(token, not proc.read_only)
+        try:
+            status = _run_procedure(proc, conn, rng)
+        finally:
+            self.tracker.finished(token)
+        elapsed = self.clock.now() - started
+        if self.personality is not None:
+            stats = conn.last_txn_stats
+            rows_read = stats.rows_read if stats else 0
+            writes = stats.write_footprint if stats else 0
+            target = self.personality.service_time(
+                rng, rows_read, writes,
+                max(1, self.tracker.active + 1), self.tracker.active_writers)
+            if elapsed < target:
+                self.clock.sleep(target - elapsed)
+                elapsed = self.clock.now() - started
+        manager.record(LatencySample(
+            txn_name=txn_name, start=request.arrival_time,
+            queue_delay=queue_delay, latency=elapsed, status=status,
+            worker_id=worker_id, tenant=manager.tenant))
+
+
+# ---------------------------------------------------------------------------
+# Simulated execution
+# ---------------------------------------------------------------------------
+
+
+class _SimWorker:
+    __slots__ = ("worker_id", "conn", "rng", "busy", "extra_think")
+
+    def __init__(self, worker_id: int, conn, rng,
+                 extra_think: float = 0.0) -> None:
+        self.worker_id = worker_id
+        self.conn = conn
+        self.rng = rng
+        self.busy = False
+        self.extra_think = extra_think
+
+
+class _SimWorkload:
+    def __init__(self, manager: WorkloadManager,
+                 workers: list[_SimWorker]) -> None:
+        self.manager = manager
+        self.workers = workers
+        self.next_wake: Optional[float] = None
+
+
+class SimulatedExecutor:
+    """Deterministic discrete-event execution over virtual time."""
+
+    def __init__(self, database: Database,
+                 personality: DbmsPersonality | str = "inmem",
+                 clock: Optional[SimClock] = None) -> None:
+        self.database = database
+        if isinstance(personality, str):
+            personality = get_personality(personality)
+        self.personality = personality
+        self.clock = clock or SimClock()
+        self.tracker = LoadTracker()
+        self._workloads: list[_SimWorkload] = []
+
+    def add_workload(self, manager: WorkloadManager,
+                     workers: Optional[int] = None,
+                     worker_think=None) -> WorkloadManager:
+        """Attach a workload; ``worker_think(worker_id) -> seconds`` adds a
+        per-worker extra think time, modelling heterogeneous clients."""
+        if manager.clock is not self.clock:
+            raise ConfigurationError(
+                "manager must be constructed with the executor's SimClock")
+        count = workers or manager.config.workers
+        sim_workers = []
+        for worker_id in range(count):
+            conn = connect(self.database, isolation=manager.config.isolation)
+            rng = make_rng(manager.config.seed, "worker", manager.tenant,
+                           worker_id)
+            extra = worker_think(worker_id) if worker_think else 0.0
+            sim_workers.append(_SimWorker(worker_id, conn, rng, extra))
+        workload = _SimWorkload(manager, sim_workers)
+        self._workloads.append(workload)
+        manager.on_control_change = lambda: self._schedule_dispatch(workload)
+        return workload.manager
+
+    # -- scheduling helpers --------------------------------------------------
+
+    def at(self, when: float, callback) -> None:
+        """Schedule a control action at virtual time ``when``.
+
+        Benches and the game use this to change rates/mixtures mid-run.
+        """
+        self.clock.call_at(when, callback)
+
+    def _schedule_dispatch(self, workload: _SimWorkload) -> None:
+        self.clock.call_at(self.clock.now(),
+                           lambda: self._dispatch(workload))
+
+    # -- run loop ------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        if not self._workloads:
+            raise ConfigurationError("no workloads added")
+        start = self.clock.now()
+        for workload in self._workloads:
+            workload.manager.begin_run(start)
+            self._tick(workload, start)
+        if until is not None:
+            self.clock.run_until(start + until)
+        else:
+            self.clock.run()
+
+    def _tick(self, workload: _SimWorkload, second: float) -> None:
+        manager = workload.manager
+        if manager.tick(second) is None:
+            return
+        self.clock.call_at(second + 1.0,
+                           lambda: self._tick(workload, second + 1.0))
+        self._dispatch(workload)
+
+    def _dispatch(self, workload: _SimWorkload) -> None:
+        manager = workload.manager
+        if not manager.running or manager.paused:
+            return
+        now = self.clock.now()
+        if manager.closed_loop:
+            for worker in workload.workers:
+                if not worker.busy and \
+                        manager.worker_enabled(worker.worker_id):
+                    self._start(workload, worker, Request(now, 0))
+            return
+        while True:
+            worker = next(
+                (w for w in workload.workers
+                 if not w.busy and manager.worker_enabled(w.worker_id)),
+                None)
+            if worker is None:
+                return
+            request = manager.queue.poll(now)
+            if request is None:
+                arrival = manager.queue.next_arrival()
+                if arrival is not None and arrival > now:
+                    if workload.next_wake is None or \
+                            workload.next_wake <= now or \
+                            arrival < workload.next_wake:
+                        workload.next_wake = arrival
+                        self.clock.call_at(
+                            arrival, lambda: self._dispatch(workload))
+                return
+            self._start(workload, worker, request)
+
+    def _start(self, workload: _SimWorkload, worker: _SimWorker,
+               request: Request) -> None:
+        manager = workload.manager
+        now = self.clock.now()
+        worker.busy = True
+        txn_name = manager.sample_txn_name(worker.rng)
+        proc = manager.benchmark.make_procedure(txn_name)
+        queue_delay = max(0.0, now - request.arrival_time)
+        # Real SQL execution happens instantly at dispatch; the personality
+        # decides how long it *takes* in virtual time.
+        status = _run_procedure(proc, worker.conn, worker.rng)
+        stats = worker.conn.last_txn_stats
+        rows_read = stats.rows_read if stats else 0
+        writes = stats.write_footprint if stats else 0
+        token = next(_TOKENS)
+        self.tracker.started(token, writes > 0)
+        service = self.personality.service_time(
+            worker.rng, rows_read, writes,
+            self.tracker.active, self.tracker.active_writers)
+        self.clock.call_later(service, lambda: self._complete(
+            workload, worker, token, txn_name, request.arrival_time,
+            queue_delay, service, status))
+
+    def _complete(self, workload: _SimWorkload, worker: _SimWorker,
+                  token: int, txn_name: str, arrival: float,
+                  queue_delay: float, service: float, status: str) -> None:
+        self.tracker.finished(token)
+        manager = workload.manager
+        manager.record(LatencySample(
+            txn_name=txn_name, start=arrival, queue_delay=queue_delay,
+            latency=service, status=status, worker_id=worker.worker_id,
+            tenant=manager.tenant))
+        think = manager.current_think_time() + worker.extra_think
+        if think > 0:
+            self.clock.call_later(
+                think, lambda: self._free(workload, worker))
+        else:
+            self._free(workload, worker)
+
+    def _free(self, workload: _SimWorkload, worker: _SimWorker) -> None:
+        worker.busy = False
+        self._dispatch(workload)

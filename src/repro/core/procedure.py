@@ -1,0 +1,64 @@
+"""Transaction procedure base class.
+
+A procedure is OLTP-Bench's "transaction control code": program logic with
+parameterised queries that either commits or aborts (paper §2.1).  Each
+benchmark declares a set of Procedure subclasses; workers sample one from
+the current mixture, instantiate it, and call :meth:`run` with a DB-API
+connection.
+
+Conventions:
+
+* ``name`` — the mixture key (defaults to the class name);
+* ``read_only`` — used by the preset mixtures (read-only boosts throughput
+  by avoiding write locks, paper §4.1.1);
+* :meth:`run` must leave the transaction committed on success and may raise
+  :class:`~repro.errors.TransactionAborted` (or trigger one from the
+  engine) — the worker rolls back and records the abort;
+* procedures may raise :class:`UserAbort` for intentional benchmark-logic
+  aborts (e.g. TPC-C NewOrder's 1% invalid item).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import ClassVar, Mapping
+
+from ..engine.dbapi import Connection
+from ..errors import TransactionAborted
+
+
+class UserAbort(TransactionAborted):
+    """A benchmark-intended abort (counted separately from conflicts)."""
+
+
+class Procedure:
+    """Base class for benchmark transactions."""
+
+    #: Mixture key; subclasses may override (defaults to the class name).
+    name: ClassVar[str] = ""
+    #: True when the transaction performs no writes.
+    read_only: ClassVar[bool] = False
+    #: Default mixture weight (percent) used when a phase omits weights.
+    default_weight: ClassVar[float] = 0.0
+
+    def __init__(self, params: Mapping[str, object]) -> None:
+        #: Loader-derived benchmark parameters (e.g. warehouse count).
+        self.params = params
+
+    @classmethod
+    def txn_name(cls) -> str:
+        return cls.name or cls.__name__
+
+    def run(self, conn: Connection, rng: random.Random) -> object:
+        """Execute the transaction; commit before returning."""
+        raise NotImplementedError
+
+    # -- helpers shared by implementations ----------------------------------
+
+    @staticmethod
+    def fetch_one(cursor, error: str):
+        """Fetch exactly one row or abort the transaction."""
+        row = cursor.fetchone()
+        if row is None:
+            raise UserAbort(error)
+        return row

@@ -1,0 +1,167 @@
+"""The centralized request queue at the heart of OLTP-Bench rate control.
+
+Paper §2.2.1: "the runtime throughput is controlled through the Workload
+Manager's request queue... Using a centralized queue allows us to control
+the throughput from one location without needing to coordinate the multiple
+threads.  The exact number of requests configured is added to the queue
+each second... When the workers cannot keep up with all requests, the
+remainder is postponed in such a way that the framework never exceeds the
+target rate."
+
+Two backlog policies are implemented (the postponement ablation):
+
+* ``cap`` (default, OLTP-Bench behaviour) — when a new one-second batch is
+  offered, still-unserved requests from earlier seconds are shed and
+  counted as *postponed*.  Workers can therefore never drain a backlog
+  burst, so delivered throughput never exceeds the target rate.
+* ``backlog`` — requests are never shed; after a stall, workers catch up in
+  a burst that overshoots the target (the behaviour the paper's design
+  avoids).
+
+A request may also never be taken before its scheduled arrival timestamp;
+this is what spreads execution uniformly/exponentially within each second.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from ..clock import Clock, RealClock
+from ..errors import ConfigurationError
+
+POLICY_CAP = "cap"
+POLICY_BACKLOG = "backlog"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One unit of work: execute a transaction sampled from the mixture."""
+
+    arrival_time: float
+    seq: int
+
+
+class RequestQueue:
+    """Thread-safe central queue with scheduled arrival times."""
+
+    def __init__(self, clock: Optional[Clock] = None,
+                 policy: str = POLICY_CAP) -> None:
+        if policy not in (POLICY_CAP, POLICY_BACKLOG):
+            raise ConfigurationError(f"unknown queue policy {policy!r}")
+        self.policy = policy
+        self.clock = clock or RealClock()
+        self._mutex = threading.Lock()
+        self._not_empty = threading.Condition(self._mutex)
+        self._queue: deque[Request] = deque()
+        self._seq = 0
+        self._paused = False
+        self._shutdown = False
+        self.offered = 0
+        self.taken = 0
+        self.postponed = 0
+
+    # -- producer side (Workload Manager) ----------------------------------
+
+    def offer_batch(self, arrivals: list[float]) -> int:
+        """Add one second's worth of requests; returns number postponed.
+
+        Under the ``cap`` policy, requests from previous batches that are
+        already past their arrival time but unserved are shed first.
+        """
+        with self._not_empty:
+            shed = 0
+            if self.policy == POLICY_CAP and arrivals:
+                batch_start = arrivals[0]
+                while self._queue and self._queue[0].arrival_time < batch_start:
+                    self._queue.popleft()
+                    shed += 1
+            for when in arrivals:
+                self._seq += 1
+                self._queue.append(Request(when, self._seq))
+            self.offered += len(arrivals)
+            self.postponed += shed
+            if arrivals:
+                self._not_empty.notify_all()
+            return shed
+
+    def clear(self) -> int:
+        """Drop all pending requests (phase transition with rate change)."""
+        with self._not_empty:
+            dropped = len(self._queue)
+            self._queue.clear()
+            return dropped
+
+    # -- consumer side (workers) -----------------------------------------------
+
+    def take(self, timeout: Optional[float] = None) -> Optional[Request]:
+        """Pop the next request whose arrival time has come.
+
+        Blocks while the queue is empty, paused, or the head request's
+        arrival time is in the future.  Returns ``None`` on shutdown or
+        timeout.  Only meaningful with a real clock; the simulated executor
+        uses :meth:`poll` instead.
+        """
+        deadline = (self.clock.now() + timeout) if timeout is not None else None
+        with self._not_empty:
+            while True:
+                if self._shutdown:
+                    return None
+                now = self.clock.now()
+                wait: Optional[float] = None
+                if not self._paused and self._queue:
+                    head = self._queue[0]
+                    if head.arrival_time <= now:
+                        self._queue.popleft()
+                        self.taken += 1
+                        return head
+                    wait = head.arrival_time - now
+                if deadline is not None:
+                    remaining = deadline - now
+                    if remaining <= 0:
+                        return None
+                    wait = remaining if wait is None else min(wait, remaining)
+                self._not_empty.wait(wait)
+
+    def poll(self, now: float) -> Optional[Request]:
+        """Non-blocking take for the simulated executor."""
+        with self._not_empty:
+            if self._shutdown or self._paused or not self._queue:
+                return None
+            head = self._queue[0]
+            if head.arrival_time > now:
+                return None
+            self._queue.popleft()
+            self.taken += 1
+            return head
+
+    def next_arrival(self) -> Optional[float]:
+        with self._mutex:
+            return self._queue[0].arrival_time if self._queue else None
+
+    # -- control -------------------------------------------------------------
+
+    def pause(self) -> None:
+        """Block workers from pulling (the game's mixture-dialog pause)."""
+        with self._not_empty:
+            self._paused = True
+
+    def resume(self) -> None:
+        with self._not_empty:
+            self._paused = False
+            self._not_empty.notify_all()
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def shutdown(self) -> None:
+        with self._not_empty:
+            self._shutdown = True
+            self._not_empty.notify_all()
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._queue)

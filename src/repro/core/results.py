@@ -1,0 +1,185 @@
+"""Result collection: per-transaction samples and aggregate views.
+
+Every executed request yields one :class:`LatencySample`.  The
+:class:`Results` container aggregates them into the numbers OLTP-Bench
+reports: throughput over windows, latency percentiles per transaction type,
+and abort/error breakdowns.  The trace analyzer (``repro.trace``) consumes
+the same samples for time-series views.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+STATUS_OK = "ok"
+STATUS_ABORTED = "aborted"
+STATUS_ERROR = "error"
+
+PERCENTILES = (25.0, 50.0, 75.0, 90.0, 95.0, 99.0)
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """Outcome of one transaction request.
+
+    ``start`` is the request's scheduled arrival time; ``queue_delay`` the
+    time it waited in the central queue; ``latency`` the execution time
+    (dequeue to completion), matching OLTP-Bench's reported latency.
+    """
+
+    txn_name: str
+    start: float
+    queue_delay: float
+    latency: float
+    status: str = STATUS_OK
+    worker_id: int = 0
+    tenant: str = "tenant-0"
+
+    @property
+    def end(self) -> float:
+        return self.start + self.queue_delay + self.latency
+
+    @property
+    def response_time(self) -> float:
+        """Queueing delay plus execution time (open-loop response time)."""
+        return self.queue_delay + self.latency
+
+
+class Results:
+    """Thread-safe accumulator of latency samples."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._samples: list[LatencySample] = []
+        self.postponed = 0  # requests the queue shed to hold the rate cap
+
+    def record(self, sample: LatencySample) -> None:
+        with self._lock:
+            self._samples.append(sample)
+
+    def record_postponed(self, count: int = 1) -> None:
+        with self._lock:
+            self.postponed += count
+
+    def samples(self) -> list[LatencySample]:
+        with self._lock:
+            return list(self._samples)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    # -- aggregate views ----------------------------------------------------
+
+    def count(self, status: Optional[str] = None,
+              txn_name: Optional[str] = None) -> int:
+        return sum(1 for s in self.samples()
+                   if (status is None or s.status == status)
+                   and (txn_name is None or s.txn_name == txn_name))
+
+    def committed(self) -> int:
+        return self.count(STATUS_OK)
+
+    def aborted(self) -> int:
+        return self.count(STATUS_ABORTED)
+
+    def abort_rate(self) -> float:
+        total = len(self)
+        return self.aborted() / total if total else 0.0
+
+    def duration(self) -> float:
+        samples = self.samples()
+        if not samples:
+            return 0.0
+        start = min(s.start for s in samples)
+        end = max(s.end for s in samples)
+        return max(0.0, end - start)
+
+    def throughput(self, window: Optional[tuple[float, float]] = None) -> float:
+        """Committed transactions per second, optionally over a window."""
+        samples = [s for s in self.samples() if s.status == STATUS_OK]
+        if window is not None:
+            lo, hi = window
+            samples = [s for s in samples if lo <= s.end < hi]
+            span = hi - lo
+        else:
+            span = self.duration()
+        if span <= 0:
+            return 0.0
+        return len(samples) / span
+
+    def per_second_throughput(self) -> list[tuple[int, int]]:
+        """Sorted (second, committed count) pairs — the game's altitude."""
+        buckets: dict[int, int] = {}
+        for sample in self.samples():
+            if sample.status == STATUS_OK:
+                second = int(sample.end)
+                buckets[second] = buckets.get(second, 0) + 1
+        return sorted(buckets.items())
+
+    def latencies(self, txn_name: Optional[str] = None,
+                  status: str = STATUS_OK) -> list[float]:
+        return [s.latency for s in self.samples()
+                if s.status == status
+                and (txn_name is None or s.txn_name == txn_name)]
+
+    def latency_percentiles(self, txn_name: Optional[str] = None
+                            ) -> dict[str, float]:
+        values = sorted(self.latencies(txn_name))
+        if not values:
+            return {}
+        summary = {"min": values[0], "max": values[-1],
+                   "avg": sum(values) / len(values)}
+        for pct in PERCENTILES:
+            summary[f"p{pct:g}"] = percentile(values, pct)
+        return summary
+
+    def txn_names(self) -> list[str]:
+        return sorted({s.txn_name for s in self.samples()})
+
+    def summary(self) -> dict[str, object]:
+        """A compact run report, one row per transaction type."""
+        per_txn = {}
+        for name in self.txn_names():
+            per_txn[name] = {
+                "committed": self.count(STATUS_OK, name),
+                "aborted": self.count(STATUS_ABORTED, name),
+                "errors": self.count(STATUS_ERROR, name),
+                "latency": self.latency_percentiles(name),
+            }
+        return {
+            "total": len(self),
+            "committed": self.committed(),
+            "aborted": self.aborted(),
+            "postponed": self.postponed,
+            "throughput": self.throughput(),
+            "per_txn": per_txn,
+        }
+
+
+def percentile(sorted_values: list[float], pct: float) -> float:
+    """Linear-interpolated percentile of pre-sorted values."""
+    if not sorted_values:
+        raise ValueError("no values")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (pct / 100.0) * (len(sorted_values) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return sorted_values[low]
+    frac = rank - low
+    return sorted_values[low] * (1 - frac) + sorted_values[high] * frac
+
+
+def merge(results: Iterable[Results]) -> Results:
+    """Combine several Results containers (e.g. multi-tenant runs)."""
+    merged = Results()
+    for result in results:
+        for sample in result.samples():
+            merged.record(sample)
+        merged.postponed += result.postponed
+    return merged

@@ -1,0 +1,215 @@
+"""The database facade: catalog + storage + concurrency + SQL front end.
+
+A :class:`Database` is the in-process stand-in for a DBMS server instance.
+Connections from the DB-API layer share its catalog, row storage, lock
+manager, and transaction manager — exactly the role a MySQL or PostgreSQL
+server plays for OLTP-Bench's JDBC workers.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..errors import ProgrammingError
+from .catalog import Catalog, ColumnDef, IndexDef, TableSchema
+from .executor import Executor, Result
+from .sqlparser import ast, parse
+from .storage import TableData
+from .txn import SERIALIZABLE, Transaction, TransactionManager
+from .locks import LockManager
+from .types import SqlType
+
+
+@dataclass
+class EngineCounters:
+    """Server-side activity counters, the dstat analogue for monitoring."""
+
+    rows_read: int = 0
+    rows_inserted: int = 0
+    rows_updated: int = 0
+    rows_deleted: int = 0
+    statements: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "rows_read": self.rows_read,
+            "rows_inserted": self.rows_inserted,
+            "rows_updated": self.rows_updated,
+            "rows_deleted": self.rows_deleted,
+            "statements": self.statements,
+        }
+
+
+class Database:
+    """One logical database instance shared by many connections."""
+
+    def __init__(self, name: str = "main",
+                 lock_timeout: float = 5.0) -> None:
+        self.name = name
+        self.catalog = Catalog()
+        self.lock_manager = LockManager(timeout=lock_timeout)
+        self.txn_manager = TransactionManager()
+        self.counters = EngineCounters()
+        self._tables: dict[str, TableData] = {}
+        self._executor = Executor(self)
+        self._stmt_cache: dict[str, ast.Statement] = {}
+        self._cache_lock = threading.Lock()
+
+    # -- storage access ----------------------------------------------------
+
+    @property
+    def latch(self) -> threading.RLock:
+        return self.txn_manager.latch
+
+    def table_data(self, name: str) -> TableData:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise ProgrammingError(f"no table named {name!r}") from None
+
+    def table_names(self) -> list[str]:
+        return self.catalog.table_names()
+
+    def row_count(self, table: str) -> int:
+        with self.latch:
+            return self.table_data(table).count_live()
+
+    # -- SQL front end -------------------------------------------------------
+
+    def prepare(self, sql: str) -> ast.Statement:
+        with self._cache_lock:
+            stmt = self._stmt_cache.get(sql)
+        if stmt is None:
+            stmt = parse(sql)
+            with self._cache_lock:
+                self._stmt_cache[sql] = stmt
+        return stmt
+
+    def execute(self, txn: Optional[Transaction], sql: str,
+                params: Sequence[object] = ()) -> Result:
+        """Execute ``sql``; DDL runs outside any transaction."""
+        stmt = self.prepare(sql)
+        self.counters.statements += 1
+        if isinstance(stmt, (ast.CreateTable, ast.CreateIndex, ast.DropTable)):
+            return self._execute_ddl(stmt)
+        if isinstance(stmt, ast.TransactionControl):
+            raise ProgrammingError(
+                "use the connection's commit()/rollback() methods")
+        if txn is None or not txn.active:
+            raise ProgrammingError("no active transaction")
+        return self._executor.execute(txn, stmt, params)
+
+    # -- transactions ---------------------------------------------------------
+
+    def begin(self, isolation: str = SERIALIZABLE) -> Transaction:
+        return self.txn_manager.begin(isolation)
+
+    def commit(self, txn: Transaction) -> None:
+        try:
+            self.txn_manager.commit(txn, self._tables)
+        except Exception:
+            self.txn_manager.rollback(txn)
+            self.lock_manager.release_all(txn)
+            raise
+        self.lock_manager.release_all(txn)
+
+    def rollback(self, txn: Transaction) -> None:
+        self.txn_manager.rollback(txn)
+        self.lock_manager.release_all(txn)
+
+    # -- DDL ----------------------------------------------------------------
+
+    def _execute_ddl(self, stmt: ast.Statement) -> Result:
+        with self.latch:
+            if isinstance(stmt, ast.CreateTable):
+                self._create_table(stmt)
+            elif isinstance(stmt, ast.CreateIndex):
+                self._create_index(stmt)
+            elif isinstance(stmt, ast.DropTable):
+                self._drop_table(stmt)
+        return Result(rowcount=0)
+
+    def _create_table(self, stmt: ast.CreateTable) -> None:
+        if self.catalog.has(stmt.name):
+            if stmt.if_not_exists:
+                return
+            raise ProgrammingError(f"table {stmt.name!r} already exists")
+        columns = []
+        for col in stmt.columns:
+            default = None
+            has_default = col.default is not None
+            if has_default:
+                if not isinstance(col.default, ast.Literal):
+                    raise ProgrammingError(
+                        "only literal DEFAULT values are supported")
+                default = col.default.value
+            columns.append(ColumnDef(
+                name=col.name,
+                sql_type=SqlType(col.type_name, col.type_args),
+                not_null=col.not_null,
+                default=default,
+                has_default=has_default,
+            ))
+        schema = TableSchema(stmt.name, tuple(columns), stmt.primary_key,
+                             foreign_keys=stmt.foreign_keys)
+        self.catalog.create_table(schema)
+        self._tables[stmt.name] = TableData(schema)
+
+    def _create_index(self, stmt: ast.CreateIndex) -> None:
+        index = IndexDef(stmt.name, stmt.table, stmt.columns, stmt.unique)
+        self.catalog.add_index(index)
+        self.table_data(stmt.table).add_index(index)
+
+    def _drop_table(self, stmt: ast.DropTable) -> None:
+        if not self.catalog.has(stmt.name):
+            if stmt.if_exists:
+                return
+            raise ProgrammingError(f"no table named {stmt.name!r}")
+        self.catalog.drop_table(stmt.name)
+        del self._tables[stmt.name]
+
+    # -- bulk load (loader fast path) ------------------------------------------
+
+    def bulk_insert(self, table: str, rows: list[tuple]) -> int:
+        """Insert pre-validated rows directly, bypassing SQL and locking.
+
+        Loaders use this to populate tables quickly; values are still
+        type-coerced and primary keys checked.
+        """
+        schema = self.catalog.get(table)
+        data = self.table_data(table)
+        with self.latch:
+            txn = self.txn_manager.begin(SERIALIZABLE)
+            for raw in rows:
+                if len(raw) != len(schema.columns):
+                    raise ProgrammingError(
+                        f"bulk insert into {table!r} expects "
+                        f"{len(schema.columns)} values, got {len(raw)}")
+                values = tuple(
+                    column.sql_type.coerce(value)
+                    for column, value in zip(schema.columns, raw))
+                rowid = data.new_rowid()
+                txn.buffer_insert(table, rowid, values)
+            self.txn_manager.commit(txn, self._tables)
+        self.lock_manager.release_all(txn)
+        self.counters.rows_inserted += len(rows)
+        return len(rows)
+
+    # -- statistics -------------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        with self.latch:
+            table_stats = {
+                name: self._tables[name].count_live()
+                for name in self.catalog.table_names()
+            }
+        return {
+            "name": self.name,
+            "tables": table_stats,
+            "counters": self.counters.snapshot(),
+            "locks": self.lock_manager.stats.snapshot(),
+            "committed": self.txn_manager.committed,
+            "aborted": self.txn_manager.aborted,
+        }

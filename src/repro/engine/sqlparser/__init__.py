@@ -1,0 +1,7 @@
+"""SQL lexer, AST, and parser for the engine's SQL subset."""
+
+from . import ast
+from .lexer import Token, tokenize
+from .parser import Parser, parse
+
+__all__ = ["ast", "Token", "tokenize", "Parser", "parse"]

@@ -1,0 +1,275 @@
+"""Abstract syntax tree nodes for the engine's SQL subset.
+
+Nodes are plain dataclasses: the executor pattern-matches on their types.
+Expression nodes all derive from :class:`Expr`; statement nodes from
+:class:`Statement`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """Positional parameter marker (``?``); ``index`` is 0-based."""
+    index: int
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A possibly table-qualified column reference."""
+    table: Optional[str]
+    column: str
+
+    def display(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # one of + - * / % = <> < <= > >= and or ||
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # '-' or 'not'
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    value: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    value: Expr
+    options: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    value: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    value: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """Function call; aggregates are detected by name in the executor."""
+    name: str
+    args: tuple[Expr, ...]
+    distinct: bool = False
+    star: bool = False  # COUNT(*)
+
+
+@dataclass(frozen=True)
+class CaseExpr(Expr):
+    """Searched CASE WHEN cond THEN val ... [ELSE val] END."""
+    branches: tuple[tuple[Expr, Expr], ...]
+    default: Optional[Expr]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    """Base class for statement nodes."""
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+    star: bool = False  # SELECT * or t.*
+    star_table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class Join:
+    table: TableRef
+    condition: Optional[Expr]  # None for CROSS JOIN
+    kind: str = "inner"  # inner | left | cross
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    items: tuple[SelectItem, ...]
+    table: Optional[TableRef]
+    joins: tuple[Join, ...] = ()
+    where: Optional[Expr] = None
+    group_by: tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[Expr] = None
+    offset: Optional[Expr] = None
+    distinct: bool = False
+    for_update: bool = False
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    table: str
+    columns: tuple[str, ...]  # empty = all columns in schema order
+    rows: tuple[tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    column: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    table: str
+    assignments: tuple[Assignment, ...]
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class ColumnDefAst:
+    name: str
+    type_name: str
+    type_args: tuple[int, ...] = ()
+    not_null: bool = False
+    primary_key: bool = False
+    default: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    name: str
+    columns: tuple[ColumnDefAst, ...]
+    primary_key: tuple[str, ...] = ()
+    if_not_exists: bool = False
+    foreign_keys: tuple[tuple[tuple[str, ...], str, tuple[str, ...]], ...] = ()
+
+
+@dataclass(frozen=True)
+class CreateIndex(Statement):
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class TransactionControl(Statement):
+    action: str  # begin | commit | rollback
+
+
+def walk(expr: Expr):
+    """Yield ``expr`` and all sub-expressions depth-first."""
+    yield expr
+    if isinstance(expr, BinaryOp):
+        yield from walk(expr.left)
+        yield from walk(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from walk(expr.operand)
+    elif isinstance(expr, Between):
+        yield from walk(expr.value)
+        yield from walk(expr.low)
+        yield from walk(expr.high)
+    elif isinstance(expr, InList):
+        yield from walk(expr.value)
+        for option in expr.options:
+            yield from walk(option)
+    elif isinstance(expr, Like):
+        yield from walk(expr.value)
+        yield from walk(expr.pattern)
+    elif isinstance(expr, IsNull):
+        yield from walk(expr.value)
+    elif isinstance(expr, FuncCall):
+        for arg in expr.args:
+            yield from walk(arg)
+    elif isinstance(expr, CaseExpr):
+        for cond, val in expr.branches:
+            yield from walk(cond)
+            yield from walk(val)
+        if expr.default is not None:
+            yield from walk(expr.default)
+
+
+def count_params(stmt: Statement) -> int:
+    """Number of positional parameters a statement expects."""
+    exprs: list[Expr] = []
+    if isinstance(stmt, Select):
+        exprs.extend(item.expr for item in stmt.items if not item.star)
+        for join in stmt.joins:
+            if join.condition is not None:
+                exprs.append(join.condition)
+        for optional in (stmt.where, stmt.having, stmt.limit, stmt.offset):
+            if optional is not None:
+                exprs.append(optional)
+        exprs.extend(stmt.group_by)
+        exprs.extend(item.expr for item in stmt.order_by)
+    elif isinstance(stmt, Insert):
+        for row in stmt.rows:
+            exprs.extend(row)
+    elif isinstance(stmt, Update):
+        exprs.extend(a.value for a in stmt.assignments)
+        if stmt.where is not None:
+            exprs.append(stmt.where)
+    elif isinstance(stmt, Delete):
+        if stmt.where is not None:
+            exprs.append(stmt.where)
+    count = 0
+    for expr in exprs:
+        for node in walk(expr):
+            if isinstance(node, Param):
+                count = max(count, node.index + 1)
+    return count

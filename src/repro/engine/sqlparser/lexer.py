@@ -1,0 +1,151 @@
+"""SQL tokenizer for the engine's SQL subset.
+
+The lexer is deliberately simple: it recognises identifiers (optionally
+double-quoted), keywords, numeric and string literals, parameter markers
+(``?``), operators, and punctuation.  Comments (``--`` and ``/* */``) are
+skipped.  Keywords are case-insensitive; identifiers are normalised to lower
+case unless quoted, matching common DBMS behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ProgrammingError
+
+KEYWORDS = frozenset({
+    "select", "from", "where", "insert", "into", "values", "update", "set",
+    "delete", "create", "drop", "table", "index", "unique", "primary", "key",
+    "not", "null", "and", "or", "in", "between", "like", "is", "as", "on",
+    "join", "inner", "left", "outer", "cross", "order", "by", "asc", "desc",
+    "limit", "offset", "group", "having", "distinct", "if", "exists",
+    "for", "begin", "commit", "rollback", "true", "false", "case", "when",
+    "then", "else", "end", "references", "foreign", "default",
+})
+
+TWO_CHAR_OPS = ("<=", ">=", "<>", "!=", "||")
+ONE_CHAR_OPS = "+-*/%<>=(),.?;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``kind`` is one of ``keyword``, ``ident``, ``number``, ``string``,
+    ``param``, ``op``, or ``eof``.  ``value`` holds the normalised text (or
+    the parsed numeric value for numbers).
+    """
+
+    kind: str
+    value: object
+    pos: int
+
+    def matches(self, kind: str, value: object = None) -> bool:
+        return self.kind == kind and (value is None or self.value == value)
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Convert ``sql`` into a token list terminated by an ``eof`` token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end < 0:
+                raise ProgrammingError(f"unterminated comment at {i}")
+            i = end + 2
+            continue
+        if ch == "'":
+            value, i = _read_string(sql, i)
+            tokens.append(Token("string", value, i))
+            continue
+        if ch == '"':
+            end = sql.find('"', i + 1)
+            if end < 0:
+                raise ProgrammingError(f"unterminated quoted identifier at {i}")
+            tokens.append(Token("ident", sql[i + 1:end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            value, i = _read_number(sql, i)
+            tokens.append(Token("number", value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            lower = word.lower()
+            if lower in KEYWORDS:
+                tokens.append(Token("keyword", lower, start))
+            else:
+                tokens.append(Token("ident", lower, start))
+            continue
+        two = sql[i:i + 2]
+        if two in TWO_CHAR_OPS:
+            tokens.append(Token("op", two, i))
+            i += 2
+            continue
+        if ch == "?":
+            tokens.append(Token("param", "?", i))
+            i += 1
+            continue
+        if ch in ONE_CHAR_OPS:
+            tokens.append(Token("op", ch, i))
+            i += 1
+            continue
+        raise ProgrammingError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("eof", None, n))
+    return tokens
+
+
+def _read_string(sql: str, i: int) -> tuple[str, int]:
+    """Read a single-quoted string literal with '' escaping."""
+    parts: list[str] = []
+    i += 1
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise ProgrammingError("unterminated string literal")
+
+
+def _read_number(sql: str, i: int) -> tuple[object, int]:
+    start = i
+    n = len(sql)
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        ch = sql[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            seen_exp = True
+            i += 1
+            if i < n and sql[i] in "+-":
+                i += 1
+        else:
+            break
+    text = sql[start:i]
+    if seen_dot or seen_exp:
+        return float(text), i
+    return int(text), i

@@ -1,0 +1,185 @@
+"""SQL type system: declared types, coercion, and comparison semantics.
+
+The engine is dynamically typed like SQLite — values are stored as Python
+``int``/``float``/``str``/``bool``/``None`` — but columns carry a declared
+type used for input coercion (so ``VARCHAR(16)`` truncation and integer
+affinity behave like a conventional DBMS) and for metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import DataError
+
+# Canonical affinity names.
+INTEGER = "integer"
+FLOAT = "float"
+TEXT = "text"
+BOOLEAN = "boolean"
+TIMESTAMP = "timestamp"
+
+_TYPE_AFFINITY = {
+    "int": INTEGER, "integer": INTEGER, "bigint": INTEGER,
+    "smallint": INTEGER, "tinyint": INTEGER, "serial": INTEGER,
+    "float": FLOAT, "double": FLOAT, "real": FLOAT, "decimal": FLOAT,
+    "numeric": FLOAT, "number": FLOAT,
+    "varchar": TEXT, "char": TEXT, "character": TEXT, "text": TEXT,
+    "clob": TEXT, "string": TEXT, "longvarchar": TEXT,
+    "bool": BOOLEAN, "boolean": BOOLEAN,
+    "timestamp": TIMESTAMP, "datetime": TIMESTAMP, "date": TIMESTAMP,
+    "time": TIMESTAMP,
+    "blob": TEXT, "binary": TEXT, "varbinary": TEXT,
+}
+
+
+@dataclass(frozen=True)
+class SqlType:
+    """A declared column type: name plus optional length/precision args."""
+
+    name: str
+    args: tuple[int, ...] = ()
+
+    @property
+    def affinity(self) -> str:
+        try:
+            return _TYPE_AFFINITY[self.name]
+        except KeyError:
+            raise DataError(f"unknown SQL type: {self.name!r}") from None
+
+    @property
+    def max_length(self) -> Optional[int]:
+        """Declared length for character types, if any."""
+        if self.affinity == TEXT and self.args:
+            return self.args[0]
+        return None
+
+    def coerce(self, value: object) -> object:
+        """Coerce an input ``value`` to this type's affinity.
+
+        ``None`` passes through (NULL).  Raises :class:`DataError` when the
+        value cannot be represented.
+        """
+        if value is None:
+            return None
+        affinity = self.affinity
+        if affinity == INTEGER:
+            return _coerce_int(value, self.name)
+        if affinity == FLOAT:
+            return _coerce_float(value, self.name)
+        if affinity == BOOLEAN:
+            return _coerce_bool(value, self.name)
+        if affinity == TIMESTAMP:
+            return _coerce_timestamp(value, self.name)
+        # TEXT: stringify and enforce declared length by truncation,
+        # mirroring the permissive behaviour of MySQL in non-strict mode.
+        text = value if isinstance(value, str) else str(value)
+        limit = self.max_length
+        if limit is not None and len(text) > limit:
+            return text[:limit]
+        return text
+
+    def render(self) -> str:
+        if self.args:
+            return f"{self.name}({','.join(str(a) for a in self.args)})"
+        return self.name
+
+
+def _coerce_int(value: object, type_name: str) -> int:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if value.is_integer():
+            return int(value)
+        raise DataError(f"cannot store non-integral {value!r} in {type_name}")
+    if isinstance(value, str):
+        try:
+            return int(value)
+        except ValueError:
+            raise DataError(
+                f"cannot store string {value!r} in {type_name}") from None
+    raise DataError(f"cannot store {type(value).__name__} in {type_name}")
+
+
+def _coerce_float(value: object, type_name: str) -> float:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            raise DataError(
+                f"cannot store string {value!r} in {type_name}") from None
+    raise DataError(f"cannot store {type(value).__name__} in {type_name}")
+
+
+def _coerce_bool(value: object, type_name: str) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return value != 0
+    if isinstance(value, str):
+        lowered = value.lower()
+        if lowered in ("true", "t", "1", "yes"):
+            return True
+        if lowered in ("false", "f", "0", "no"):
+            return False
+    raise DataError(f"cannot store {value!r} in {type_name}")
+
+
+def _coerce_timestamp(value: object, type_name: str) -> float:
+    """Timestamps are stored as POSIX float seconds for simplicity."""
+    if isinstance(value, bool):
+        raise DataError(f"cannot store bool in {type_name}")
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            raise DataError(
+                f"timestamp strings must be numeric seconds, got {value!r}"
+            ) from None
+    raise DataError(f"cannot store {type(value).__name__} in {type_name}")
+
+
+def compare_values(a: object, b: object) -> Optional[int]:
+    """Three-way compare with SQL semantics.
+
+    Returns -1/0/1, or ``None`` when either side is NULL (SQL UNKNOWN).
+    Numeric values compare numerically across int/float/bool; strings
+    compare lexicographically; mixed string/number comparisons attempt a
+    numeric interpretation of the string and fall back to string compare.
+    """
+    if a is None or b is None:
+        return None
+    a = _comparable(a)
+    b = _comparable(b)
+    if isinstance(a, str) != isinstance(b, str):
+        # Mixed compare: try to bring the string to a number.
+        if isinstance(a, str):
+            try:
+                a = float(a)
+            except ValueError:
+                b = str(b)
+        else:
+            try:
+                b = float(b)
+            except ValueError:
+                a = str(a)
+    if a < b:  # type: ignore[operator]
+        return -1
+    if a > b:  # type: ignore[operator]
+        return 1
+    return 0
+
+
+def _comparable(value: object) -> object:
+    if isinstance(value, bool):
+        return int(value)
+    return value

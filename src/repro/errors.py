@@ -1,0 +1,106 @@
+"""Exception hierarchy shared across the testbed.
+
+The engine-facing exceptions follow the PEP 249 (DB-API 2.0) layering so that
+benchmark transaction code written against ``repro.engine.dbapi`` reads like
+code written against any other Python database driver.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# --------------------------------------------------------------------------
+# PEP 249 exception layering (engine / driver side)
+# --------------------------------------------------------------------------
+
+
+class Warning(ReproError):  # noqa: A001 - name mandated by PEP 249
+    """Important warnings such as data truncation during inserts."""
+
+
+class Error(ReproError):
+    """Base class of all DB-API error exceptions."""
+
+
+class InterfaceError(Error):
+    """Errors related to the database interface rather than the database."""
+
+
+class DatabaseError(Error):
+    """Errors related to the database itself."""
+
+
+class DataError(DatabaseError):
+    """Problems with the processed data (bad value, out of range, ...)."""
+
+
+class OperationalError(DatabaseError):
+    """Errors related to the database's operation (e.g. lock timeout)."""
+
+
+class IntegrityError(DatabaseError):
+    """Relational integrity violation (duplicate key, bad foreign key)."""
+
+
+class InternalError(DatabaseError):
+    """The database encountered an internal error (e.g. stale cursor)."""
+
+
+class ProgrammingError(DatabaseError):
+    """SQL syntax errors, wrong parameter counts, missing tables, ..."""
+
+
+class NotSupportedError(DatabaseError):
+    """A method or SQL feature the engine does not implement."""
+
+
+# --------------------------------------------------------------------------
+# Concurrency control
+# --------------------------------------------------------------------------
+
+
+class TransactionAborted(OperationalError):
+    """The transaction was rolled back by the engine and may be retried.
+
+    This is the Python analogue of JDBC's ``SQLTransactionRollbackException``
+    family: OLTP-Bench workers catch it, count the abort, and move on to the
+    next request.
+    """
+
+    retryable = True
+
+
+class DeadlockError(TransactionAborted):
+    """The lock manager chose this transaction as a deadlock victim."""
+
+
+class LockTimeoutError(TransactionAborted):
+    """A lock could not be acquired within the configured timeout."""
+
+
+class SerializationError(TransactionAborted):
+    """Snapshot-isolation first-committer-wins conflict."""
+
+
+# --------------------------------------------------------------------------
+# Driver / testbed side
+# --------------------------------------------------------------------------
+
+
+class ConfigurationError(ReproError):
+    """Invalid workload configuration (bad phase, weights, rates, ...)."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark module failed to load or execute."""
+
+
+class ApiError(ReproError):
+    """Control-API request failed."""
+
+
+class GameOverError(ReproError):
+    """The BenchPress character crashed into an obstacle."""

@@ -1,0 +1,20 @@
+"""Server-side resource monitoring (paper §2.1 / Fig. 1, "dstat" [7]).
+
+"On the server side, we use standard server monitoring tools that are
+launched in parallel to OLTP-Bench and provide system performance metrics
+in real time as they are collected on the host."
+
+Two samplers are provided:
+
+* :class:`EngineMonitor` — per-interval deltas of engine counters (rows
+  read/written, lock waits, deadlocks, commits/aborts).  This is the
+  signal the demo's performance view uses to warn players they are close
+  to saturation (§4.2);
+* :class:`HostMonitor` — best-effort /proc sampling of the real host (CPU
+  jiffies, memory), matching what dstat reports on a Linux box.
+"""
+
+from .engine_monitor import EngineMonitor, MonitorSample
+from .host import HostMonitor
+
+__all__ = ["EngineMonitor", "MonitorSample", "HostMonitor"]

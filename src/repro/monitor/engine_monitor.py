@@ -1,0 +1,128 @@
+"""Engine-counter sampler: the simulated server's dstat."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..engine.database import Database
+
+
+@dataclass(frozen=True)
+class MonitorSample:
+    """Per-interval activity deltas of one database instance."""
+
+    time: float
+    interval: float
+    rows_read: int
+    rows_written: int
+    statements: int
+    commits: int
+    aborts: int
+    lock_waits: int
+    lock_wait_time: float
+    deadlocks: int
+    active_locks: int
+
+    @property
+    def rows_read_per_sec(self) -> float:
+        return self.rows_read / self.interval if self.interval else 0.0
+
+    @property
+    def commits_per_sec(self) -> float:
+        return self.commits / self.interval if self.interval else 0.0
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "time": self.time,
+            "rows_read": self.rows_read,
+            "rows_written": self.rows_written,
+            "statements": self.statements,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "lock_waits": self.lock_waits,
+            "lock_wait_time": self.lock_wait_time,
+            "deadlocks": self.deadlocks,
+            "active_locks": self.active_locks,
+        }
+
+
+class EngineMonitor:
+    """Samples a Database's counters; call :meth:`sample` each interval.
+
+    The monitor is clock-agnostic: the caller supplies timestamps, so the
+    same code serves threaded runs (a timer thread) and simulated runs
+    (events on the SimClock).
+    """
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._last_time: Optional[float] = None
+        self._last: Optional[dict[str, float]] = None
+        self.samples: list[MonitorSample] = []
+
+    def _snapshot(self) -> dict[str, float]:
+        counters = self.database.counters
+        locks = self.database.lock_manager.stats
+        txn = self.database.txn_manager
+        return {
+            "rows_read": counters.rows_read,
+            "rows_written": (counters.rows_inserted + counters.rows_updated
+                             + counters.rows_deleted),
+            "statements": counters.statements,
+            "commits": txn.committed,
+            "aborts": txn.aborted,
+            "lock_waits": locks.waits,
+            "lock_wait_time": locks.wait_time,
+            "deadlocks": locks.deadlocks,
+        }
+
+    def sample(self, now: float) -> Optional[MonitorSample]:
+        """Record the delta since the previous call; None on the first."""
+        current = self._snapshot()
+        previous, previous_time = self._last, self._last_time
+        self._last, self._last_time = current, now
+        if previous is None or previous_time is None:
+            return None
+        interval = max(1e-9, now - previous_time)
+        sample = MonitorSample(
+            time=now,
+            interval=interval,
+            rows_read=int(current["rows_read"] - previous["rows_read"]),
+            rows_written=int(current["rows_written"]
+                             - previous["rows_written"]),
+            statements=int(current["statements"] - previous["statements"]),
+            commits=int(current["commits"] - previous["commits"]),
+            aborts=int(current["aborts"] - previous["aborts"]),
+            lock_waits=int(current["lock_waits"] - previous["lock_waits"]),
+            lock_wait_time=current["lock_wait_time"]
+            - previous["lock_wait_time"],
+            deadlocks=int(current["deadlocks"] - previous["deadlocks"]),
+            active_locks=self.database.lock_manager.active_lock_count(),
+        )
+        self.samples.append(sample)
+        return sample
+
+    def schedule_on(self, executor, interval: float = 1.0,
+                    until: float = 0.0) -> None:
+        """Arrange periodic sampling on a SimulatedExecutor's clock."""
+        clock = executor.clock
+
+        def tick(when: float) -> None:
+            self.sample(when)
+            if not until or when + interval <= until:
+                clock.call_at(when + interval, lambda: tick(when + interval))
+
+        clock.call_at(clock.now(), lambda: tick(clock.now()))
+
+    def saturation_signal(self, window: int = 5) -> float:
+        """Lock-wait time per second over the recent window.
+
+        Rising values warn the player the DBMS is approaching a
+        contention wall (the §4.2 "predict potential drops" signal).
+        """
+        recent = self.samples[-window:]
+        if not recent:
+            return 0.0
+        span = sum(s.interval for s in recent)
+        return sum(s.lock_wait_time for s in recent) / max(span, 1e-9)

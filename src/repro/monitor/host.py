@@ -1,0 +1,86 @@
+"""Best-effort host sampling from /proc, the dstat counterpart.
+
+Works on Linux; on other platforms every field degrades to ``None`` rather
+than raising, so monitoring never takes a run down.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class HostSample:
+    time: float
+    cpu_busy_fraction: Optional[float]
+    mem_used_kb: Optional[int]
+    load_1min: Optional[float]
+
+
+def _read_cpu_jiffies() -> Optional[tuple[int, int]]:
+    """Return (busy, total) jiffies from /proc/stat, or None."""
+    try:
+        with open("/proc/stat") as handle:
+            first = handle.readline().split()
+    except OSError:
+        return None
+    if not first or first[0] != "cpu":
+        return None
+    values = [int(v) for v in first[1:]]
+    total = sum(values)
+    idle = values[3] + (values[4] if len(values) > 4 else 0)
+    return total - idle, total
+
+
+def _read_mem_used_kb() -> Optional[int]:
+    try:
+        with open("/proc/meminfo") as handle:
+            info = {}
+            for line in handle:
+                key, _, rest = line.partition(":")
+                info[key] = int(rest.split()[0])
+    except (OSError, ValueError, IndexError):
+        return None
+    if "MemTotal" in info and "MemAvailable" in info:
+        return info["MemTotal"] - info["MemAvailable"]
+    return None
+
+
+def _read_load() -> Optional[float]:
+    try:
+        return os.getloadavg()[0]
+    except (OSError, AttributeError):
+        return None
+
+
+class HostMonitor:
+    """Delta-based CPU/memory sampler over /proc."""
+
+    def __init__(self) -> None:
+        self._last_jiffies: Optional[tuple[int, int]] = None
+        self.samples: list[HostSample] = []
+
+    def sample(self, now: float) -> HostSample:
+        jiffies = _read_cpu_jiffies()
+        busy_fraction: Optional[float] = None
+        if jiffies is not None and self._last_jiffies is not None:
+            busy_delta = jiffies[0] - self._last_jiffies[0]
+            total_delta = jiffies[1] - self._last_jiffies[1]
+            if total_delta > 0:
+                busy_fraction = busy_delta / total_delta
+        if jiffies is not None:
+            self._last_jiffies = jiffies
+        sample = HostSample(
+            time=now,
+            cpu_busy_fraction=busy_fraction,
+            mem_used_kb=_read_mem_used_kb(),
+            load_1min=_read_load(),
+        )
+        self.samples.append(sample)
+        return sample
+
+    @property
+    def available(self) -> bool:
+        return _read_cpu_jiffies() is not None

@@ -1,0 +1,6 @@
+"""Trace output and analysis (Fig. 1: trace.txt + Trace Analyzer)."""
+
+from .writer import TraceWriter, read_trace
+from .analyzer import TraceAnalyzer, TrackingReport
+
+__all__ = ["TraceWriter", "read_trace", "TraceAnalyzer", "TrackingReport"]

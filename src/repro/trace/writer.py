@@ -1,0 +1,69 @@
+"""Trace writer: persist per-transaction samples as CSV (``trace.txt``).
+
+One row per request, matching OLTP-Bench's raw results files so external
+tooling (or the bundled analyzer) can recompute any aggregate.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from ..core.results import LatencySample, Results
+
+FIELDS = ["txn_name", "start", "queue_delay", "latency", "status",
+          "worker_id", "tenant"]
+
+
+class TraceWriter:
+    """Streams samples to a CSV file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = open(self.path, "w", newline="")
+        self._writer = csv.writer(self._handle)
+        self._writer.writerow(FIELDS)
+
+    def write(self, sample: LatencySample) -> None:
+        self._writer.writerow([
+            sample.txn_name, f"{sample.start:.6f}",
+            f"{sample.queue_delay:.6f}", f"{sample.latency:.6f}",
+            sample.status, sample.worker_id, sample.tenant])
+
+    def write_all(self, samples: Iterable[LatencySample]) -> int:
+        count = 0
+        for sample in samples:
+            self.write(sample)
+            count += 1
+        return count
+
+    def write_results(self, results: Results) -> int:
+        return self.write_all(results.samples())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def read_trace(path: str | Path) -> Results:
+    """Load a trace CSV back into a Results container."""
+    results = Results()
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            results.record(LatencySample(
+                txn_name=row["txn_name"],
+                start=float(row["start"]),
+                queue_delay=float(row["queue_delay"]),
+                latency=float(row["latency"]),
+                status=row["status"],
+                worker_id=int(row["worker_id"]),
+                tenant=row["tenant"]))
+    return results

@@ -1,0 +1,97 @@
+"""HTTP server edge cases: bad routes, bad bodies, concurrent polls."""
+
+import json
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.api import ApiServer, ControlApi
+from repro.core import Phase, WorkloadConfiguration, WorkloadManager
+
+from ..conftest import MiniBenchmark
+
+
+@pytest.fixture
+def server(db):
+    bench = MiniBenchmark(db, seed=42)
+    bench.load()
+    cfg = WorkloadConfiguration(
+        benchmark="mini", workers=2, seed=1, tenant="t1",
+        phases=[Phase(duration=60, rate=10)])
+    manager = WorkloadManager(bench, cfg)
+    control = ControlApi()
+    control.register(manager)
+    srv = ApiServer(control, port=0).start()
+    yield srv
+    srv.stop()
+
+
+def raw_request(server, method, path, body=None):
+    host, port = server.address
+    conn = HTTPConnection(host, port, timeout=5)
+    payload = json.dumps(body).encode() if body is not None else None
+    headers = {"Content-Type": "application/json"} if payload else {}
+    conn.request(method, path, body=payload, headers=headers)
+    response = conn.getresponse()
+    data = json.loads(response.read() or b"null")
+    conn.close()
+    return response.status, data
+
+
+@pytest.mark.slow
+def test_unknown_get_route_is_400(server):
+    status, data = raw_request(server, "GET", "/nonsense")
+    assert status == 400
+    assert data["ok"] is False
+
+
+@pytest.mark.slow
+def test_unknown_post_action_is_400(server):
+    status, _data = raw_request(server, "POST", "/workloads/t1/explode",
+                                {})
+    assert status == 400
+
+
+@pytest.mark.slow
+def test_malformed_json_body_is_400(server):
+    host, port = server.address
+    conn = HTTPConnection(host, port, timeout=5)
+    conn.request("POST", "/workloads/t1/rate", body=b"{not json",
+                 headers={"Content-Type": "application/json"})
+    response = conn.getresponse()
+    assert response.status == 400
+    response.read()
+    conn.close()
+
+
+@pytest.mark.slow
+def test_missing_body_fields_rejected(server):
+    status, data = raw_request(server, "POST", "/workloads/t1/rate", {})
+    assert status == 400  # rate missing -> invalid
+
+
+@pytest.mark.slow
+def test_unknown_tenant_in_path(server):
+    status, data = raw_request(server, "GET", "/workloads/ghost/status")
+    assert status == 400
+    assert "ghost" in data["error"]
+
+
+@pytest.mark.slow
+def test_concurrent_status_polls(server):
+    errors = []
+
+    def poll():
+        for _ in range(10):
+            status, data = raw_request(server, "GET",
+                                       "/workloads/t1/status")
+            if status != 200 or data["benchmark"] != "mini":
+                errors.append(data)
+
+    threads = [threading.Thread(target=poll) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(10)
+    assert not errors

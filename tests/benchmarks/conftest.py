@@ -1,0 +1,52 @@
+"""Helpers for benchmark tests: loaded instances and mixed runs."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.procedure import UserAbort
+from repro.engine import Database, connect
+from repro.errors import Error
+
+
+def run_mixture(bench, iterations=150, seed=5):
+    """Run ``iterations`` transactions sampled from the default mixture.
+
+    Returns a Counter of (txn_name, outcome).  Any outcome other than
+    commit or UserAbort fails the calling test immediately.
+    """
+    conn = connect(bench.database)
+    rng = random.Random(seed)
+    weights = bench.default_weights()
+    names = list(weights)
+    cumulative = []
+    acc = 0.0
+    total = sum(weights.values())
+    for name in names:
+        acc += weights[name] / total
+        cumulative.append(acc)
+    outcomes: Counter = Counter()
+    for _ in range(iterations):
+        roll = rng.random()
+        name = next(n for n, c in zip(names, cumulative) if roll <= c)
+        proc = bench.make_procedure(name)
+        try:
+            proc.run(conn, rng)
+            outcomes[(name, "ok")] += 1
+        except UserAbort:
+            conn.rollback()
+            outcomes[(name, "abort")] += 1
+        except Error as exc:  # engine errors are test failures
+            conn.rollback()
+            raise AssertionError(
+                f"{bench.name}.{name} raised {type(exc).__name__}: {exc}"
+            ) from exc
+    conn.close()
+    return outcomes
+
+
+def committed(outcomes) -> int:
+    return sum(v for (_n, status), v in outcomes.items() if status == "ok")

@@ -1,0 +1,378 @@
+"""SEATS, AuctionMark, CH-benCHmark, ResourceStresser, and JPAB."""
+
+import random
+
+import pytest
+
+from repro.benchmarks.auctionmark import AuctionMarkBenchmark
+from repro.benchmarks.auctionmark.schema import ITEM_STATUS_OPEN
+from repro.benchmarks.chbenchmark import ChBenchmark
+from repro.benchmarks.jpab import JpabBenchmark
+from repro.benchmarks.jpab.orm import Employee, EntityManager
+from repro.benchmarks.resourcestresser import ResourceStresserBenchmark
+from repro.benchmarks.seats import SeatsBenchmark
+from repro.core.procedure import UserAbort
+from repro.engine import Database, connect
+from repro.errors import TransactionAborted
+
+from .conftest import committed, run_mixture
+
+
+# -- SEATS -------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def seats():
+    db = Database()
+    bench = SeatsBenchmark(db, scale_factor=0.3, seed=12)
+    bench.load()
+    return bench
+
+
+def test_seats_invariant_after_load(seats):
+    assert seats.check_seat_invariant()
+
+
+def test_seats_new_reservation_updates_counter(seats):
+    conn = connect(seats.database)
+    rng = random.Random(1)
+    proc = seats.make_procedure("NewReservation")
+    booked = 0
+    for _ in range(30):
+        try:
+            proc.run(conn, rng)
+            booked += 1
+        except UserAbort:
+            conn.rollback()
+    conn.close()
+    assert booked > 0
+    assert seats.check_seat_invariant()
+
+
+def test_seats_delete_reservation_releases_seat(seats):
+    conn = connect(seats.database)
+    rng = random.Random(2)
+    proc = seats.make_procedure("DeleteReservation")
+    deleted = 0
+    for _ in range(20):
+        try:
+            proc.run(conn, rng)
+            deleted += 1
+        except UserAbort:
+            conn.rollback()
+    conn.close()
+    assert deleted > 0
+    assert seats.check_seat_invariant()
+
+
+def test_seats_find_flights_in_window(seats):
+    conn = connect(seats.database)
+    rows = seats.make_procedure("FindFlights").run(conn, random.Random(3))
+    assert isinstance(rows, list)
+    conn.close()
+
+
+def test_seats_find_open_seats_counts(seats):
+    conn = connect(seats.database)
+    open_seats = seats.make_procedure("FindOpenSeats").run(
+        conn, random.Random(4))
+    assert 0 <= len(open_seats) <= 150
+    conn.close()
+
+
+def test_seats_mixture_preserves_invariant(seats):
+    outcomes = run_mixture(seats, iterations=150)
+    assert committed(outcomes) > 90
+    assert seats.check_seat_invariant()
+
+
+def test_seats_no_duplicate_seat_assignments(seats):
+    txn = seats.database.begin()
+    rows = seats.database.execute(
+        txn, "SELECT r_f_id, r_seat, COUNT(*) FROM reservation "
+        "GROUP BY r_f_id, r_seat HAVING COUNT(*) > 1").rows
+    seats.database.rollback(txn)
+    assert rows == []
+
+
+# -- AuctionMark -----------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def auction():
+    db = Database()
+    bench = AuctionMarkBenchmark(db, scale_factor=0.5, seed=13)
+    bench.load()
+    return bench
+
+
+def test_auction_population(auction):
+    counts = auction.table_counts()
+    assert counts["useracct"] == 100
+    assert counts["item"] == 50
+    assert counts["region"] == 5
+
+
+def test_auction_new_bid_raises_price(auction):
+    conn = connect(auction.database)
+    rng = random.Random(1)
+    proc = auction.make_procedure("NewBid")
+    for _ in range(40):
+        try:
+            proc.run(conn, rng)
+            break
+        except UserAbort:
+            conn.rollback()
+    else:
+        pytest.fail("no open item accepted a bid")
+    # Bid counters and price must be consistent for bid-carrying items.
+    txn = auction.database.begin()
+    rows = auction.database.execute(
+        txn, "SELECT COUNT(*) FROM item WHERE i_num_bids > 0 "
+        "AND i_current_price < i_initial_price").rows
+    auction.database.rollback(txn)
+    assert rows[0][0] == 0
+    conn.close()
+
+
+def test_auction_bid_counter_matches_bids(auction):
+    txn = auction.database.begin()
+    items = auction.database.execute(
+        txn, "SELECT i_id, i_num_bids FROM item").rows
+    bid_counts = dict(auction.database.execute(
+        txn, "SELECT ib_i_id, COUNT(*) FROM item_bid GROUP BY ib_i_id").rows)
+    auction.database.rollback(txn)
+    for i_id, num_bids in items:
+        assert bid_counts.get(i_id, 0) == num_bids
+
+
+def test_auction_new_item_is_open(auction):
+    conn = connect(auction.database)
+    i_id = auction.make_procedure("NewItem").run(conn, random.Random(2))
+    txn = auction.database.begin()
+    status = auction.database.execute(
+        txn, "SELECT i_status FROM item WHERE i_id = ?", (i_id,)).rows[0][0]
+    auction.database.rollback(txn)
+    assert status == ITEM_STATUS_OPEN
+    conn.close()
+
+
+def test_auction_mixture(auction):
+    outcomes = run_mixture(auction, iterations=150)
+    assert committed(outcomes) > 100
+
+
+# -- CH-benCHmark -----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def chbench():
+    db = Database()
+    bench = ChBenchmark(db, scale_factor=1, seed=14, districts=2,
+                        customers_per_district=30, items=80,
+                        initial_orders=20)
+    bench.load()
+    return bench
+
+
+def test_ch_has_tpch_tables(chbench):
+    counts = chbench.table_counts()
+    assert counts["supplier"] == 100
+    assert counts["nation"] == 9
+    assert counts["region"] == 3
+
+
+def test_ch_mixes_oltp_and_olap_procedures(chbench):
+    names = set(chbench.procedure_names())
+    assert {"NewOrder", "Payment"} <= names
+    assert {"Query1", "Query6", "Query12", "Query14"} <= names
+
+
+def test_ch_query1_groups_by_line_number(chbench):
+    conn = connect(chbench.database)
+    rows = chbench.make_procedure("Query1").run(conn, random.Random(1))
+    line_numbers = [r[0] for r in rows]
+    assert line_numbers == sorted(line_numbers)
+    assert all(r[5] >= 1 for r in rows)  # count_order per group
+    conn.close()
+
+
+def test_ch_query6_revenue_positive(chbench):
+    conn = connect(chbench.database)
+    revenue = chbench.make_procedure("Query6").run(conn, random.Random(1))
+    assert revenue is None or revenue >= 0
+    conn.close()
+
+
+def test_ch_query12_partitions_orders(chbench):
+    conn = connect(chbench.database)
+    rows = chbench.make_procedure("Query12").run(conn, random.Random(1))
+    for _ol_cnt, high, low in rows:
+        assert high >= 0 and low >= 0
+    conn.close()
+
+
+def test_ch_query14_promo_share_bounded(chbench):
+    conn = connect(chbench.database)
+    share = chbench.make_procedure("Query14").run(conn, random.Random(1))
+    assert 0.0 <= share <= 100.0
+    conn.close()
+
+
+def test_ch_olap_runs_against_live_oltp_state(chbench):
+    conn = connect(chbench.database)
+    rng = random.Random(5)
+    before = chbench.make_procedure("Query6").run(conn, rng) or 0.0
+    delivered = chbench.make_procedure("Delivery").run(conn, rng)
+    after = chbench.make_procedure("Query6").run(conn, rng) or 0.0
+    if delivered:
+        assert after > before  # delivered lines now count as revenue
+    conn.close()
+
+
+# -- ResourceStresser -------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def stresser():
+    db = Database()
+    bench = ResourceStresserBenchmark(db, scale_factor=0.5, seed=15)
+    bench.load()
+    return bench
+
+
+def test_stresser_all_procedures_run(stresser):
+    conn = connect(stresser.database)
+    rng = random.Random(1)
+    for name in stresser.procedure_names():
+        stresser.make_procedure(name).run(conn, rng)
+    conn.close()
+
+
+def test_stresser_contention1_touches_hot_rows_only(stresser):
+    conn = connect(stresser.database)
+    rng = random.Random(2)
+    proc = stresser.make_procedure("Contention1")
+    for _ in range(20):
+        proc.run(conn, rng)
+    txn = stresser.database.begin()
+    rows = stresser.database.execute(
+        txn, "SELECT COUNT(*) FROM locktable WHERE salary > 10000 "
+        "AND empid >= 4").rows
+    stresser.database.rollback(txn)
+    assert rows[0][0] == 0  # cold rows untouched
+    conn.close()
+
+
+def test_stresser_io2_flips_flags(stresser):
+    conn = connect(stresser.database)
+    rng = random.Random(3)
+    stresser.make_procedure("IO2").run(conn, rng)
+    txn = stresser.database.begin()
+    flipped = stresser.database.execute(
+        txn, "SELECT COUNT(*) FROM iotablesmallrow WHERE flag1 = 1"
+    ).rows[0][0]
+    stresser.database.rollback(txn)
+    assert flipped > 0
+    conn.close()
+
+
+def test_stresser_cpu_txn_footprint_is_read_only(stresser):
+    conn = connect(stresser.database)
+    stresser.make_procedure("CPU1").run(conn, random.Random(4))
+    stats = conn.last_txn_stats
+    assert stats.write_footprint == 0
+    assert stats.rows_read > 0
+    conn.close()
+
+
+# -- JPAB -----------------------------------------------------------------------------------------
+
+
+@pytest.fixture
+def jpab():
+    db = Database()
+    bench = JpabBenchmark(db, scale_factor=0.2, seed=16)
+    bench.load()
+    return bench
+
+
+def test_jpab_persist_retrieve_round_trip(jpab):
+    conn = connect(jpab.database)
+    em = EntityManager(conn)
+    employee = Employee(id=99_999, first_name="Ada", last_name="Lovelace",
+                        street="12 Analytical Way", city="London",
+                        salary=120_000.0)
+    em.persist(employee)
+    em.commit()
+    em2 = EntityManager(conn)
+    found = em2.find(Employee, 99_999)
+    assert found is not None
+    assert found.first_name == "Ada"
+    assert found.version == 0
+    em2.commit()
+    conn.close()
+
+
+def test_jpab_identity_map_returns_same_object(jpab):
+    conn = connect(jpab.database)
+    em = EntityManager(conn)
+    first = em.find(Employee, 0)
+    second = em.find(Employee, 0)
+    assert first is second
+    em.commit()
+    conn.close()
+
+
+def test_jpab_merge_bumps_version(jpab):
+    conn = connect(jpab.database)
+    em = EntityManager(conn)
+    employee = em.find(Employee, 1)
+    employee.city = "Zurich"
+    em.merge(employee)
+    em.commit()
+    assert employee.version == 1
+    em2 = EntityManager(conn)
+    reloaded = em2.find(Employee, 1)
+    assert reloaded.city == "Zurich"
+    assert reloaded.version == 1
+    em2.commit()
+    conn.close()
+
+
+def test_jpab_optimistic_lock_failure(jpab):
+    conn = connect(jpab.database)
+    em = EntityManager(conn)
+    stale = em.find(Employee, 2)
+    em.commit()
+
+    other = connect(jpab.database)
+    em_other = EntityManager(other)
+    fresh = em_other.find(Employee, 2)
+    fresh.salary += 1
+    em_other.merge(fresh)
+    em_other.commit()
+    other.close()
+
+    stale.salary += 2
+    with pytest.raises(TransactionAborted):
+        em.merge(stale)  # version moved underneath us
+    em.rollback()
+    conn.close()
+
+
+def test_jpab_remove(jpab):
+    conn = connect(jpab.database)
+    em = EntityManager(conn)
+    employee = em.find(Employee, 3)
+    em.remove(employee)
+    em.commit()
+    em2 = EntityManager(conn)
+    assert em2.find(Employee, 3) is None
+    em2.commit()
+    conn.close()
+
+
+def test_jpab_mixture(jpab):
+    outcomes = run_mixture(jpab, iterations=80)
+    assert committed(outcomes) >= 75

@@ -1,0 +1,85 @@
+"""Registry and paper Table 1 completeness."""
+
+import pytest
+
+from repro.benchmarks import (REGISTRY, benchmark_names, create_benchmark,
+                              table1)
+from repro.core.benchmark import (CLASS_FEATURE, CLASS_TRANSACTIONAL,
+                                  CLASS_WEB)
+from repro.engine import Database
+from repro.errors import BenchmarkError
+
+#: Paper Table 1, verbatim.
+TABLE1_EXPECTED = {
+    "auctionmark": (CLASS_TRANSACTIONAL, "On-line Auctions"),
+    "chbenchmark": (CLASS_TRANSACTIONAL, "Mixture of OLTP and OLAP"),
+    "seats": (CLASS_TRANSACTIONAL, "On-line Airline Ticketing"),
+    "smallbank": (CLASS_TRANSACTIONAL, "Banking System"),
+    "tatp": (CLASS_TRANSACTIONAL, "Caller Location App"),
+    "tpcc": (CLASS_TRANSACTIONAL, "Order Processing"),
+    "voter": (CLASS_TRANSACTIONAL, "Talent Show Voting"),
+    "epinions": (CLASS_WEB, "Social Networking"),
+    "linkbench": (CLASS_WEB, "Social Networking"),
+    "twitter": (CLASS_WEB, "Social Networking"),
+    "wikipedia": (CLASS_WEB, "On-line Encyclopedia"),
+    "resourcestresser": (CLASS_FEATURE, "Isolated Resource Stresser"),
+    "ycsb": (CLASS_FEATURE, "Scalable Key-value Store"),
+    "jpab": (CLASS_FEATURE, "Object-Relational Mapping"),
+    "sibench": (CLASS_FEATURE, "Transactional Isolation"),
+}
+
+
+def test_fifteen_benchmarks_registered():
+    assert len(REGISTRY) == 15
+    assert set(benchmark_names()) == set(TABLE1_EXPECTED)
+
+
+@pytest.mark.parametrize("name", sorted(TABLE1_EXPECTED))
+def test_class_and_domain_match_table1(name):
+    expected_class, expected_domain = TABLE1_EXPECTED[name]
+    cls = REGISTRY[name]
+    assert cls.benchmark_class == expected_class
+    assert cls.domain == expected_domain
+
+
+def test_table1_rows():
+    rows = table1()
+    assert len(rows) == 15
+    by_name = {row["benchmark"]: row for row in rows}
+    assert by_name["tpcc"]["class"] == CLASS_TRANSACTIONAL
+
+
+def test_create_benchmark_unknown_name():
+    with pytest.raises(BenchmarkError):
+        create_benchmark("mongomark", Database())
+
+
+def test_create_benchmark_case_insensitive():
+    bench = create_benchmark("TPCC", Database())
+    assert bench.name == "tpcc"
+
+
+@pytest.mark.parametrize("name", sorted(TABLE1_EXPECTED))
+def test_every_benchmark_has_procedures_and_weights(name):
+    bench = create_benchmark(name, Database())
+    names = bench.procedure_names()
+    assert names
+    weights = bench.default_weights()
+    assert set(weights) == set(names)
+    assert sum(weights.values()) == pytest.approx(100.0)
+
+
+@pytest.mark.parametrize("name", sorted(TABLE1_EXPECTED))
+def test_every_benchmark_has_presets(name):
+    bench = create_benchmark(name, Database())
+    presets = bench.preset_mixtures()
+    assert set(presets) == {"default", "read-only", "super-writes"}
+    for weights in presets.values():
+        assert sum(weights.values()) == pytest.approx(100.0)
+
+
+def test_read_only_preset_is_read_only_where_possible():
+    bench = create_benchmark("ycsb", Database())
+    preset = bench.preset_mixtures()["read-only"]
+    read_only_names = {p.txn_name() for p in bench.procedures if p.read_only}
+    assert set(preset) <= read_only_names

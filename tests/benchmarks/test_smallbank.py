@@ -1,0 +1,127 @@
+"""SmallBank: money conservation and per-transaction semantics."""
+
+import random
+
+import pytest
+
+from repro.benchmarks.smallbank import SmallBankBenchmark
+from repro.core.procedure import UserAbort
+from repro.engine import Database, connect
+
+from .conftest import run_mixture
+
+
+@pytest.fixture
+def bank():
+    db = Database()
+    bench = SmallBankBenchmark(db, scale_factor=0.1, seed=2)
+    bench.load()
+    return bench
+
+
+def test_load_counts(bank):
+    counts = bank.table_counts()
+    assert counts["accounts"] == counts["savings"] == counts["checking"]
+    assert counts["accounts"] == 100
+
+
+def test_balance_reads_total(bank):
+    conn = connect(bank.database)
+    total = bank.make_procedure("Balance").run(conn, random.Random(1))
+    assert total > 0
+    conn.close()
+
+
+def test_send_payment_conserves_money(bank):
+    before = bank.total_money()
+    conn = connect(bank.database)
+    rng = random.Random(3)
+    proc = bank.make_procedure("SendPayment")
+    for _ in range(20):
+        try:
+            proc.run(conn, rng)
+        except UserAbort:
+            conn.rollback()
+    conn.close()
+    assert bank.total_money() == pytest.approx(before, rel=1e-9)
+
+
+def test_amalgamate_conserves_money_and_zeroes_source(bank):
+    before = bank.total_money()
+    conn = connect(bank.database)
+    proc = bank.make_procedure("Amalgamate")
+    proc.run(conn, random.Random(4))
+    conn.close()
+    assert bank.total_money() == pytest.approx(before, rel=1e-9)
+    # At least one account is now fully drained.
+    txn = bank.database.begin()
+    rows = bank.database.execute(
+        txn, "SELECT COUNT(*) FROM savings WHERE bal = 0").rows
+    bank.database.rollback(txn)
+    assert rows[0][0] >= 1
+
+
+def test_deposit_checking_increases_total(bank):
+    before = bank.total_money()
+    conn = connect(bank.database)
+    bank.make_procedure("DepositChecking").run(conn, random.Random(5))
+    conn.close()
+    assert bank.total_money() > before
+
+
+def test_transact_savings_overdraft_aborts():
+    db = Database()
+    bench = SmallBankBenchmark(db, scale_factor=0.01, seed=2)
+    bench.load()
+    conn = connect(db)
+    cur = conn.cursor()
+    cur.execute("UPDATE savings SET bal = 0.5")
+    conn.commit()
+    rng = random.Random(0)
+    proc = bench.make_procedure("TransactSavings")
+    aborted = False
+    for _ in range(30):
+        try:
+            proc.run(conn, rng)
+        except UserAbort:
+            conn.rollback()
+            aborted = True
+            break
+    assert aborted
+    conn.close()
+
+
+def test_write_check_applies_penalty():
+    db = Database()
+    bench = SmallBankBenchmark(db, scale_factor=0.01, seed=2)
+    bench.load()
+    conn = connect(db)
+    cur = conn.cursor()
+    cur.execute("UPDATE savings SET bal = 0")
+    cur.execute("UPDATE checking SET bal = 10")
+    conn.commit()
+    rng = random.Random(1)
+    proc = bench.make_procedure("WriteCheck")
+    proc.run(conn, rng)
+    cur.execute("SELECT MIN(bal) FROM checking")
+    lowest = cur.fetchone()[0]
+    conn.commit()
+    conn.close()
+    # The checked amount exceeded funds, so balance dropped below -1
+    # (amount + $1 penalty) rather than stopping at the limit.
+    assert lowest < 0
+
+
+def test_hotspot_concentrates_traffic(bank):
+    proc = bank.make_procedure("Balance")
+    rng = random.Random(7)
+    picks = [proc._pick_customer(rng) for _ in range(2000)]
+    hot = sum(1 for p in picks if p < 100)
+    assert hot / 2000 > 0.85
+
+
+def test_mixture_run_conserves_invariants(bank):
+    run_mixture(bank, iterations=200)
+    # After arbitrary traffic every account still has both balance rows.
+    counts = bank.table_counts()
+    assert counts["accounts"] == counts["savings"] == counts["checking"]

@@ -1,0 +1,222 @@
+"""Web-oriented benchmarks: Epinions, LinkBench, Twitter, Wikipedia."""
+
+import random
+
+import pytest
+
+from repro.benchmarks.epinions import EpinionsBenchmark
+from repro.benchmarks.linkbench import LinkBenchBenchmark
+from repro.benchmarks.twitter import TwitterBenchmark
+from repro.benchmarks.wikipedia import WikipediaBenchmark
+from repro.engine import Database, connect
+
+from .conftest import committed, run_mixture
+
+
+# -- Epinions -------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def epinions():
+    db = Database()
+    bench = EpinionsBenchmark(db, scale_factor=0.5, seed=6)
+    bench.load()
+    return bench
+
+
+def test_epinions_population(epinions):
+    counts = epinions.table_counts()
+    assert counts["useracct"] == 100
+    assert counts["item"] == 50
+    assert counts["review"] > 0
+    assert counts["trust"] > 0
+
+
+def test_epinions_trusted_rating_join(epinions):
+    conn = connect(epinions.database)
+    proc = epinions.make_procedure("GetAverageRatingByTrustedUser")
+    result = proc.run(conn, random.Random(2))
+    assert result is None or 0 <= result <= 5
+    conn.close()
+
+
+def test_epinions_review_uniqueness(epinions):
+    txn = epinions.database.begin()
+    rows = epinions.database.execute(
+        txn, "SELECT i_id, u_id, COUNT(*) FROM review "
+        "GROUP BY i_id, u_id HAVING COUNT(*) > 1").rows
+    epinions.database.rollback(txn)
+    assert rows == []
+
+
+def test_epinions_mixture(epinions):
+    outcomes = run_mixture(epinions, iterations=150)
+    assert committed(outcomes) >= 140
+
+
+# -- LinkBench --------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def linkbench():
+    db = Database()
+    bench = LinkBenchBenchmark(db, scale_factor=0.3, seed=8)
+    bench.load()
+    return bench
+
+
+def test_linkbench_count_invariant_after_load(linkbench):
+    assert linkbench.check_count_invariant()
+
+
+def test_linkbench_add_then_delete_link_keeps_counts(linkbench):
+    conn = connect(linkbench.database)
+    rng = random.Random(3)
+    add = linkbench.make_procedure("AddLink")
+    delete = linkbench.make_procedure("DeleteLink")
+    for _ in range(30):
+        add.run(conn, rng)
+        delete.run(conn, rng)
+    conn.close()
+    assert linkbench.check_count_invariant()
+
+
+def test_linkbench_get_link_list_filters_hidden(linkbench):
+    conn = connect(linkbench.database)
+    cur = conn.cursor()
+    cur.execute("SELECT COUNT(*) FROM linktable WHERE visibility = 0")
+    hidden_before = cur.fetchone()[0]
+    conn.commit()
+    rows = linkbench.make_procedure("GetLinkList").run(
+        conn, random.Random(4))
+    assert isinstance(rows, list)
+    conn.close()
+
+
+def test_linkbench_mixture_preserves_invariant(linkbench):
+    outcomes = run_mixture(linkbench, iterations=200)
+    assert committed(outcomes) >= 180
+    assert linkbench.check_count_invariant()
+
+
+def test_linkbench_add_node_ids_monotonic(linkbench):
+    conn = connect(linkbench.database)
+    proc = linkbench.make_procedure("AddNode")
+    a = proc.run(conn, random.Random(5))
+    b = proc.run(conn, random.Random(6))
+    assert b > a  # ids are minted from a shared monotonic counter
+    conn.close()
+
+
+# -- Twitter -----------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def twitter():
+    db = Database()
+    bench = TwitterBenchmark(db, scale_factor=0.2, seed=9)
+    bench.load()
+    return bench
+
+
+def test_twitter_population(twitter):
+    counts = twitter.table_counts()
+    assert counts["user_profiles"] == 100
+    assert counts["tweets"] == 400
+    assert counts["follows"] == counts["followers"]
+
+
+def test_twitter_follow_graph_is_mirrored(twitter):
+    txn = twitter.database.begin()
+    follows = set(map(tuple, twitter.database.execute(
+        txn, "SELECT f1, f2 FROM follows").rows))
+    followers = set(map(tuple, twitter.database.execute(
+        txn, "SELECT f1, f2 FROM followers").rows))
+    twitter.database.rollback(txn)
+    assert {(b, a) for a, b in follows} == followers
+
+
+def test_twitter_insert_tweet_goes_to_added_tweets(twitter):
+    conn = connect(twitter.database)
+    before = twitter.database.row_count("added_tweets")
+    twitter.make_procedure("InsertTweet").run(conn, random.Random(1))
+    assert twitter.database.row_count("added_tweets") == before + 1
+    conn.close()
+
+
+def test_twitter_get_user_tweets_limit(twitter):
+    conn = connect(twitter.database)
+    rows = twitter.make_procedure("GetUserTweets").run(
+        conn, random.Random(2))
+    assert len(rows) <= 10
+    conn.close()
+
+
+def test_twitter_default_mix_is_read_heavy(twitter):
+    weights = twitter.default_weights()
+    assert weights["GetUserTweets"] == pytest.approx(90.0)
+    assert weights["InsertTweet"] == pytest.approx(1.0)
+
+
+def test_twitter_mixture(twitter):
+    outcomes = run_mixture(twitter, iterations=120)
+    assert committed(outcomes) == 120
+
+
+# -- Wikipedia --------------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def wikipedia():
+    db = Database()
+    bench = WikipediaBenchmark(db, scale_factor=0.3, seed=10)
+    bench.load()
+    return bench
+
+
+def test_wikipedia_population(wikipedia):
+    counts = wikipedia.table_counts()
+    assert counts["useracct"] == 30
+    assert counts["page"] == 60
+    assert counts["revision"] == counts["text"]
+    assert counts["revision"] >= counts["page"]
+
+
+def test_wikipedia_page_latest_points_at_revision(wikipedia):
+    txn = wikipedia.database.begin()
+    rows = wikipedia.database.execute(txn, """
+        SELECT COUNT(*) FROM page p JOIN revision r ON r.rev_id = p.page_latest
+        WHERE r.rev_page = p.page_id
+    """).rows
+    count_pages = wikipedia.database.execute(
+        txn, "SELECT COUNT(*) FROM page").rows[0][0]
+    wikipedia.database.rollback(txn)
+    assert rows[0][0] == count_pages
+
+
+def test_wikipedia_update_page_creates_revision(wikipedia):
+    conn = connect(wikipedia.database)
+    before = wikipedia.database.row_count("revision")
+    rev_id = wikipedia.make_procedure("UpdatePage").run(
+        conn, random.Random(3))
+    assert wikipedia.database.row_count("revision") == before + 1
+    txn = wikipedia.database.begin()
+    latest = wikipedia.database.execute(
+        txn, "SELECT COUNT(*) FROM page WHERE page_latest = ?",
+        (rev_id,)).rows[0][0]
+    wikipedia.database.rollback(txn)
+    assert latest == 1
+    conn.close()
+
+
+def test_wikipedia_anonymous_read(wikipedia):
+    conn = connect(wikipedia.database)
+    size = wikipedia.make_procedure("GetPageAnonymous").run(
+        conn, random.Random(4))
+    assert size > 0
+    conn.close()
+
+
+def test_wikipedia_mixture(wikipedia):
+    outcomes = run_mixture(wikipedia, iterations=150)
+    assert committed(outcomes) >= 140

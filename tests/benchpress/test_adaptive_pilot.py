@@ -1,0 +1,107 @@
+"""AdaptivePilot: monitoring-guided defensive play (paper §4.2)."""
+
+import pytest
+
+from repro.api import ControlApi
+from repro.benchpress import (AdaptivePilot, Character, Course, GameSession,
+                              steps)
+from repro.clock import SimClock
+from repro.core import (Phase, SimulatedExecutor, WorkloadConfiguration,
+                        WorkloadManager)
+from repro.engine import Database
+from repro.monitor import EngineMonitor
+
+from ..conftest import MiniBenchmark
+
+
+class _FakeMonitor:
+    """Scriptable saturation signal."""
+
+    def __init__(self):
+        self.signal = 0.0
+
+    def saturation_signal(self, window=5):
+        return self.signal
+
+
+def build_session(pilot):
+    db = Database()
+    bench = MiniBenchmark(db, seed=42)
+    bench.load()
+    clock = SimClock()
+    course = Course.build([steps(base=60, step=0, count=3, width=10)],
+                          start=8)
+    cfg = WorkloadConfiguration(
+        benchmark="mini", workers=8, seed=1, tenant="p1",
+        phases=[Phase(duration=course.end + 15, rate=60)])
+    manager = WorkloadManager(bench, cfg, clock=clock)
+    executor = SimulatedExecutor(db, "oracle", clock)
+    executor.add_workload(manager)
+    control = ControlApi()
+    control.register(manager)
+    session = GameSession(control, "p1", course, pilot=pilot,
+                          character=Character(requested_rate=60))
+    return executor, session, manager, course
+
+
+def test_adaptive_tracks_target_when_calm():
+    monitor = _FakeMonitor()
+    executor, session, _manager, course = build_session(
+        AdaptivePilot(monitor=monitor, lookahead=1))
+    session.run_on(executor)
+    executor.run(until=course.end + 5)
+    assert session.state == "completed"
+    # Calm: requested rate sits at the corridor midpoint.
+    mid_run = [req for t, req, _alt in session.altitude_history
+               if 12 <= t <= 20]
+    assert all(req == pytest.approx(60, abs=1) for req in mid_run)
+
+
+def test_adaptive_backs_off_and_goes_read_only_when_saturated():
+    monitor = _FakeMonitor()
+    executor, session, manager, course = build_session(
+        AdaptivePilot(monitor=monitor, lookahead=1,
+                      lock_wait_threshold=0.05))
+    session.run_on(executor)
+    executor.at(14.0, lambda: setattr(monitor, "signal", 0.5))
+    executor.at(22.0, lambda: setattr(monitor, "signal", 0.0))
+    executor.run(until=course.end + 5)
+
+    # While the signal was high: lower request and read-only mixture.
+    defensive = [req for t, req, _alt in session.altitude_history
+                 if 16 <= t <= 20]
+    assert defensive and all(req < 60 for req in defensive)
+    mixture_events = [e.detail for e in session.events
+                      if e.kind == "mixture"]
+    assert {"preset": "read-only"} in mixture_events
+    # After the signal cleared: back to the default mixture and midpoint.
+    assert {"preset": "default"} in mixture_events
+    recovered = [req for t, req, _alt in session.altitude_history
+                 if 25 <= t <= 35]  # before end-of-course gravity decay
+    assert recovered and recovered[-1] == pytest.approx(60, abs=1)
+
+
+def test_adaptive_with_real_monitor_runs():
+    db = Database()
+    bench = MiniBenchmark(db, seed=42)
+    bench.load()
+    clock = SimClock()
+    course = Course.build([steps(base=40, step=0, count=2, width=8)],
+                          start=8)
+    cfg = WorkloadConfiguration(
+        benchmark="mini", workers=4, seed=1, tenant="p1",
+        phases=[Phase(duration=course.end + 10, rate=40)])
+    manager = WorkloadManager(bench, cfg, clock=clock)
+    executor = SimulatedExecutor(db, "oracle", clock)
+    executor.add_workload(manager)
+    control = ControlApi()
+    control.register(manager)
+    monitor = EngineMonitor(db)
+    monitor.schedule_on(executor, interval=1.0, until=course.end)
+    session = GameSession(
+        control, "p1", course,
+        pilot=AdaptivePilot(monitor=monitor, lookahead=1),
+        character=Character(requested_rate=40))
+    session.run_on(executor)
+    executor.run(until=course.end + 5)
+    assert session.state == "completed"

@@ -1,0 +1,118 @@
+"""Challenge shapes, obstacles, courses, and config loading."""
+
+import math
+
+import pytest
+
+from repro.benchpress import (Course, Obstacle, challenge_from_config, peak,
+                              sinusoidal, steps, tunnel)
+from repro.errors import ConfigurationError
+
+
+def test_obstacle_validation():
+    with pytest.raises(ConfigurationError):
+        Obstacle(0, 0, 10, 20)  # zero duration
+    with pytest.raises(ConfigurationError):
+        Obstacle(0, 5, 20, 10)  # inverted corridor
+
+
+def test_obstacle_geometry():
+    obstacle = Obstacle(start=5, duration=10, low=40, high=60)
+    assert obstacle.end == 15
+    assert obstacle.target == 50
+    assert obstacle.contains_time(5) and obstacle.contains_time(14.9)
+    assert not obstacle.contains_time(15)
+    assert obstacle.contains_altitude(40)
+    assert obstacle.contains_altitude(60)
+    assert not obstacle.contains_altitude(61)
+
+
+def test_steps_ascending_levels():
+    challenge = steps(base=50, step=25, count=4, width=10)
+    targets = [o.target for o in challenge.obstacles]
+    assert targets == [50, 75, 100, 125]
+    assert challenge.duration == 40
+    assert not challenge.autopilot
+
+
+def test_steps_descending():
+    challenge = steps(base=50, step=25, count=3, width=5, descending=True)
+    assert [o.target for o in challenge.obstacles] == [100, 75, 50]
+
+
+def test_steps_requires_positive_count():
+    with pytest.raises(ConfigurationError):
+        steps(base=10, step=5, count=0, width=5)
+
+
+def test_sinusoidal_oscillates_around_center():
+    challenge = sinusoidal(center=100, amplitude=50, period=20, duration=40)
+    targets = [o.target for o in challenge.obstacles]
+    assert max(targets) == pytest.approx(150, rel=0.05)
+    assert min(targets) == pytest.approx(50, rel=0.10)
+    assert targets[0] == pytest.approx(100)
+
+
+def test_sinusoidal_amplitude_bound():
+    with pytest.raises(ConfigurationError):
+        sinusoidal(center=50, amplitude=60, period=10, duration=10)
+
+
+def test_peak_shape():
+    challenge = peak(low=50, high=200, lead=10, burst=5, tail=10)
+    assert [o.target for o in challenge.obstacles] == [50, 200, 50]
+    assert challenge.obstacles[1].start == 10
+    assert challenge.duration == 25
+    with pytest.raises(ConfigurationError):
+        peak(low=100, high=90, lead=1, burst=1, tail=1)
+
+
+def test_tunnel_is_autopilot_with_tight_corridor():
+    challenge = tunnel(level=100, duration=30, corridor=0.2)
+    assert challenge.autopilot
+    obstacle = challenge.obstacles[0]
+    assert obstacle.low == pytest.approx(90)
+    assert obstacle.high == pytest.approx(110)
+
+
+def test_challenge_lookup_and_shift():
+    challenge = steps(base=10, step=10, count=2, width=5)
+    assert challenge.obstacle_at(2.0).target == 10
+    assert challenge.obstacle_at(7.0).target == 20
+    assert challenge.obstacle_at(11.0) is None
+    shifted = challenge.shifted(100)
+    assert shifted.start == 100
+    assert shifted.obstacle_at(102.0).target == 10
+
+
+def test_challenge_from_config():
+    challenge = challenge_from_config(
+        {"shape": "steps", "base": 20, "step": 10, "count": 3, "width": 4})
+    assert challenge.shape == "steps"
+    assert len(challenge.obstacles) == 3
+    with pytest.raises(ConfigurationError):
+        challenge_from_config({"shape": "spiral"})
+    with pytest.raises(ConfigurationError):
+        challenge_from_config({})
+
+
+def test_course_layout_with_gaps():
+    course = Course.build([
+        steps(base=10, step=5, count=2, width=5),
+        tunnel(level=50, duration=10),
+    ], gap=3, start=2)
+    first, second = course.challenges
+    assert first.start == 2
+    assert second.start == first.end + 3
+    assert course.end == second.end
+    assert course.challenge_at(first.start + 1) is first
+    assert course.challenge_at(first.end + 1) is None  # in the gap
+    assert course.obstacle_at(second.start + 1).target == 50
+
+
+def test_course_target_fn():
+    course = Course.build([steps(base=10, step=0, count=1, width=5)],
+                          start=0)
+    fn = course.target_fn(default=-1)
+    assert fn(2.0) == 10
+    assert fn(100.0) == -1

@@ -1,0 +1,65 @@
+"""Character physics: gravity, jumps, requested-vs-delivered split."""
+
+import pytest
+
+from repro.benchpress import Character
+
+
+def test_jump_raises_requested_rate():
+    character = Character(requested_rate=50, jump_boost=20)
+    assert character.jump() == 70
+    assert character.jump(5) == 75
+    assert not character.grounded
+
+
+def test_jump_capped_at_max_rate():
+    character = Character(requested_rate=90, jump_boost=20, max_rate=100)
+    assert character.jump() == 100
+
+
+def test_duck_lowers_requested_rate():
+    character = Character(requested_rate=50, jump_boost=20)
+    assert character.duck() == 30
+    assert character.duck(100) == 0
+
+
+def test_gravity_decays_linearly_without_input():
+    character = Character(requested_rate=50, gravity=10)
+    character.apply_gravity(1.0)
+    assert character.requested_rate == 40
+    character.apply_gravity(2.5)
+    assert character.requested_rate == 15
+
+
+def test_gravity_reaches_floor_and_grounds():
+    """Paper §4.1: decreases linearly until 0, character on the floor."""
+    character = Character(requested_rate=15, gravity=10)
+    character.apply_gravity(1.0)
+    character.apply_gravity(1.0)
+    assert character.requested_rate == 0
+    assert character.grounded
+
+
+def test_input_suppresses_gravity_for_one_tick():
+    character = Character(requested_rate=50, gravity=10)
+    character.jump()  # input this tick
+    character.apply_gravity(1.0)
+    assert character.requested_rate == 70  # no decay on an input tick
+    character.apply_gravity(1.0)
+    assert character.requested_rate == 60  # decays again afterwards
+
+
+def test_altitude_follows_observation_not_request():
+    character = Character(requested_rate=500)
+    character.observe(120.0)
+    assert character.altitude == 120.0
+    assert character.falling_short == 380.0
+    character.observe(-5)
+    assert character.altitude == 0.0
+
+
+def test_set_requested_clamps():
+    character = Character(max_rate=1000)
+    assert character.set_requested(2000) == 1000
+    assert character.set_requested(-10) == 0
+    assert character.grounded

@@ -1,0 +1,74 @@
+"""ASCII renderer behaviour."""
+
+import pytest
+
+from repro.api import ControlApi
+from repro.benchpress import (Character, Course, GameSession, render_frame,
+                              steps, tunnel)
+from repro.clock import SimClock
+from repro.core import (Phase, SimulatedExecutor, WorkloadConfiguration,
+                        WorkloadManager)
+from repro.engine import Database
+
+from ..conftest import MiniBenchmark
+
+
+@pytest.fixture
+def session(db):
+    bench = MiniBenchmark(db, seed=42)
+    bench.load()
+    clock = SimClock()
+    course = Course.build([steps(base=50, step=25, count=3, width=10),
+                           tunnel(level=60, duration=10)], start=5)
+    cfg = WorkloadConfiguration(
+        benchmark="mini", workers=4, seed=1, tenant="p1",
+        phases=[Phase(duration=course.end + 10, rate=50)])
+    manager = WorkloadManager(bench, cfg, clock=clock)
+    executor = SimulatedExecutor(db, "oracle", clock)
+    executor.add_workload(manager)
+    control = ControlApi()
+    control.register(manager)
+    game = GameSession(control, "p1", course,
+                       character=Character(requested_rate=50))
+    game.start(0.0)
+    game.character.observe(50.0)
+    return game
+
+
+def test_frame_dimensions(session):
+    frame = render_frame(session, now=5.0, width=40, height=12)
+    lines = frame.split("\n")
+    grid = lines[:12]
+    assert all(len(line) == 40 for line in grid)
+    assert lines[12] == "-" * 40
+    assert "alt=" in lines[13] and "req=" in lines[13]
+
+
+def test_character_marker_present(session):
+    frame = render_frame(session, now=5.0)
+    assert "@" in frame
+
+
+def test_obstacles_rendered_as_pipes(session):
+    frame = render_frame(session, now=5.0)
+    assert "|" in frame
+
+
+def test_requested_marker_when_gap(session):
+    session.character.set_requested(200.0)
+    session.character.observe(50.0)
+    # At t=0 the first column is open course (no pipes hiding markers).
+    frame = render_frame(session, now=0.0)
+    assert "+" in frame  # requested differs visibly from altitude
+
+
+def test_gap_region_renders_empty_columns(session):
+    # Far beyond the course: no obstacles at all.
+    frame = render_frame(session, now=10_000.0, width=30, height=8)
+    grid_lines = frame.split("\n")[:8]
+    assert all(set(line) <= {" ", "@", "+"} for line in grid_lines)
+
+
+def test_footer_reports_state(session):
+    frame = render_frame(session, now=5.0)
+    assert "[running]" in frame

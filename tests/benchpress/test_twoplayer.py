@@ -1,0 +1,108 @@
+"""Two-player multi-tenancy: one player affects the other (paper §4.3)."""
+
+import pytest
+
+from repro.benchpress import (Character, Course, PerfectPilot, PlayerSpec,
+                              STATE_COMPLETED, TwoPlayerGame, steps, tunnel)
+from repro.core import Phase, WorkloadConfiguration
+from repro.engine import Database
+
+from ..conftest import MiniBenchmark
+
+
+def player_spec(bench, tenant, course, workers=8):
+    return PlayerSpec(
+        benchmark=bench,
+        config=WorkloadConfiguration(
+            benchmark="mini", workers=workers, seed=1, tenant=tenant,
+            phases=[Phase(duration=course.end + 15, rate=40)]),
+        course=course,
+        pilot=PerfectPilot(lookahead=2),
+        character=Character(requested_rate=40, max_rate=1e6),
+    )
+
+
+def test_two_player_game_runs_both_sessions(db):
+    bench = MiniBenchmark(db, seed=42)
+    bench.load()
+    course = Course.build([steps(base=40, step=20, count=3, width=8)],
+                          start=8)
+    game = TwoPlayerGame(db, personality="mysql")
+    game.add_player(player_spec(bench, "p1", course))
+    game.add_player(player_spec(bench, "p2", course))
+    game.run()
+    summaries = game.summaries()
+    assert {s["tenant"] for s in summaries} == {"p1", "p2"}
+    assert all(s["state"] == STATE_COMPLETED for s in summaries)
+
+
+def test_third_player_rejected(db):
+    bench = MiniBenchmark(db, seed=42)
+    bench.load()
+    course = Course.build([steps(base=10, step=0, count=1, width=5)])
+    game = TwoPlayerGame(db)
+    game.add_player(player_spec(bench, "p1", course))
+    game.add_player(player_spec(bench, "p2", course))
+    with pytest.raises(ValueError):
+        game.add_player(player_spec(bench, "p3", course))
+
+
+def test_run_requires_two_players(db):
+    bench = MiniBenchmark(db, seed=42)
+    bench.load()
+    course = Course.build([steps(base=10, step=0, count=1, width=5)])
+    game = TwoPlayerGame(db)
+    game.add_player(player_spec(bench, "p1", course))
+    with pytest.raises(ValueError):
+        game.run()
+
+
+def test_one_player_affects_the_other(db):
+    """A rival hammering the shared DBMS sinks a tunnel the solo run
+    passes: the multi-tenancy interference the demo teaches."""
+    from repro.engine.service import get_personality
+    level = get_personality("derby").saturation_tps(1.5, 0.3) * 0.6
+    tunnel_course = Course.build(
+        [tunnel(level=level, duration=25, corridor=0.1)], start=10)
+
+    # Solo: player 1 in the tunnel, player 2 idling at a trivial rate.
+    db1 = Database()
+    bench1 = MiniBenchmark(db1, seed=42)
+    bench1.load()
+    calm = TwoPlayerGame(db1, personality="derby")
+    spec1 = player_spec(bench1, "p1", tunnel_course)
+    spec1.pilot = _hold(level, 10)
+    calm.add_player(spec1)
+    idle_course = Course.build([steps(base=10, step=0, count=1, width=40)],
+                               start=8)
+    calm.add_player(player_spec(bench1, "p2", idle_course))
+    calm.run()
+    solo_state = calm.sessions[0].state
+
+    # Contended: player 2 demands Derby's full capacity alongside.
+    db2 = Database()
+    bench2 = MiniBenchmark(db2, seed=42)
+    bench2.load()
+    rough = TwoPlayerGame(db2, personality="derby")
+    spec1b = player_spec(bench2, "p1", tunnel_course)
+    spec1b.pilot = _hold(level, 10)
+    rough.add_player(spec1b)
+    greedy_course = Course.build(
+        [steps(base=level * 2, step=0, count=1, width=40,
+               corridor=1.9)], start=8)
+    spec2 = player_spec(bench2, "p2", greedy_course, workers=32)
+    spec2.pilot = _hold(level * 2, 1e9)
+    rough.add_player(spec2)
+    rough.run()
+    contended_state = rough.sessions[0].state
+
+    assert solo_state == STATE_COMPLETED
+    assert contended_state == "crashed"
+
+
+def _hold(level, until):
+    class Hold:
+        def act(self, session, now):
+            if now < until:
+                session.character.set_requested(level)
+    return Hold()

@@ -1,0 +1,83 @@
+"""Shared fixtures: a fresh engine database and a miniature benchmark."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.benchmark import BenchmarkModule
+from repro.core.procedure import Procedure
+from repro.engine import Database, connect
+
+
+class ReadKv(Procedure):
+    """Point-read one row of the kv table."""
+
+    name = "Read"
+    read_only = True
+    default_weight = 70
+
+    def run(self, conn, rng):
+        cur = conn.cursor()
+        cur.execute("SELECT v FROM kv WHERE k = ?",
+                    (rng.randrange(int(self.params["rows"])),))
+        cur.fetchall()
+        conn.commit()
+
+
+class WriteKv(Procedure):
+    """Increment one row of the kv table."""
+
+    name = "Write"
+    default_weight = 30
+
+    def run(self, conn, rng):
+        cur = conn.cursor()
+        cur.execute("UPDATE kv SET v = v + 1 WHERE k = ?",
+                    (rng.randrange(int(self.params["rows"])),))
+        conn.commit()
+
+
+class MiniBenchmark(BenchmarkModule):
+    """A two-transaction benchmark for driver-core and game tests."""
+
+    name = "mini"
+    domain = "Testing"
+    procedures = (ReadKv, WriteKv)
+
+    ROWS = 64
+
+    def ddl(self):
+        return ["CREATE TABLE kv (k INT PRIMARY KEY, v INT NOT NULL)"]
+
+    def load_data(self, rng: random.Random) -> None:
+        rows = max(1, int(self.ROWS * self.scale_factor))
+        self.database.bulk_insert("kv", [(i, 0) for i in range(rows)])
+        self.params["rows"] = rows
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database()
+
+
+@pytest.fixture
+def conn(db):
+    connection = connect(db)
+    yield connection
+    connection.close()
+
+
+@pytest.fixture
+def mini_benchmark(db) -> MiniBenchmark:
+    bench = MiniBenchmark(db, seed=42)
+    bench.load()
+    return bench
+
+
+def execute(conn, sql, params=()):
+    """Run one statement and return the cursor."""
+    cur = conn.cursor()
+    cur.execute(sql, params)
+    return cur

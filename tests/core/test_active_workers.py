@@ -1,0 +1,102 @@
+"""<active_terminals>: per-phase active worker counts."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core import (Phase, RATE_DISABLED, SimulatedExecutor,
+                        WorkloadConfiguration, WorkloadManager)
+from repro.errors import ConfigurationError
+
+from ..conftest import MiniBenchmark
+
+
+def build(db, phases, workers=4):
+    bench = MiniBenchmark(db, seed=42)
+    bench.load()
+    clock = SimClock()
+    cfg = WorkloadConfiguration(benchmark="mini", workers=workers, seed=1,
+                                phases=phases)
+    manager = WorkloadManager(bench, cfg, clock=clock)
+    executor = SimulatedExecutor(db, "oracle", clock)
+    executor.add_workload(manager)
+    return executor, manager
+
+
+def test_phase_validates_active_workers():
+    with pytest.raises(ConfigurationError):
+        Phase(duration=5, active_workers=0)
+    assert Phase(duration=5, active_workers=3).active_workers == 3
+
+
+def test_only_active_workers_execute(db):
+    executor, manager = build(db, [
+        Phase(duration=8, rate=RATE_DISABLED, active_workers=1)],
+        workers=4)
+    executor.run()
+    used = {s.worker_id for s in manager.results.samples()}
+    assert used == {0}
+
+
+def test_phase_transition_changes_active_set(db):
+    executor, manager = build(db, [
+        Phase(duration=5, rate=RATE_DISABLED, active_workers=1),
+        Phase(duration=5, rate=RATE_DISABLED, active_workers=3),
+    ], workers=4)
+    executor.run()
+    first = {s.worker_id for s in manager.results.samples() if s.end < 5}
+    second = {s.worker_id for s in manager.results.samples()
+              if 5.5 < s.end < 10}
+    assert first == {0}
+    assert second == {0, 1, 2}
+
+
+def test_active_workers_caps_closed_loop_throughput(db):
+    executor, manager = build(db, [
+        Phase(duration=5, rate=RATE_DISABLED, think_time=0.1,
+              active_workers=1)], workers=8)
+    executor.run()
+    # One worker with 100ms think time: ~10 tps, not ~80.
+    assert manager.results.throughput() < 15
+
+
+def test_dynamic_active_workers_override(db):
+    executor, manager = build(db, [
+        Phase(duration=10, rate=RATE_DISABLED, think_time=0.05)],
+        workers=4)
+    executor.at(5.0, lambda: manager.set_active_workers(1))
+    executor.run()
+    late = {s.worker_id for s in manager.results.samples() if s.end > 6.5}
+    assert late == {0}
+    with pytest.raises(ConfigurationError):
+        manager.set_active_workers(0)
+
+
+def test_rate_limited_phase_with_few_workers_still_delivers(db):
+    executor, manager = build(db, [
+        Phase(duration=8, rate=40, active_workers=2)], workers=8)
+    executor.run()
+    assert manager.results.throughput() == pytest.approx(40, rel=0.1)
+    assert {s.worker_id for s in manager.results.samples()} <= {0, 1}
+
+
+def test_xml_active_terminals(tmp_path):
+    path = tmp_path / "c.xml"
+    path.write_text("""
+    <parameters>
+        <benchmark>mini</benchmark>
+        <works><work><time>5</time><rate>10</rate>
+            <active_terminals>3</active_terminals></work></works>
+    </parameters>
+    """)
+    cfg = WorkloadConfiguration.from_xml(path)
+    assert cfg.phases[0].active_workers == 3
+
+
+def test_dict_round_trip_includes_active_workers():
+    cfg = WorkloadConfiguration.from_dict({
+        "benchmark": "x",
+        "phases": [{"duration": 5, "active_workers": 2}],
+    })
+    assert cfg.phases[0].active_workers == 2
+    again = WorkloadConfiguration.from_dict(cfg.to_dict())
+    assert again.phases[0].active_workers == 2

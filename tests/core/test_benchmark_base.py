@@ -1,0 +1,85 @@
+"""BenchmarkModule base class behaviour."""
+
+import pytest
+
+from repro.benchmarks.voter import VoterBenchmark
+from repro.core.benchmark import BenchmarkModule
+from repro.engine import Database
+from repro.errors import BenchmarkError, ConfigurationError
+
+from ..conftest import MiniBenchmark
+
+
+def test_load_creates_schema_and_params(db):
+    bench = MiniBenchmark(db, seed=1)
+    assert not bench.loaded
+    bench.load()
+    assert bench.loaded
+    assert bench.params["rows"] == 64
+    assert db.row_count("kv") == 64
+
+
+def test_scale_factor_scales_rows(db):
+    bench = MiniBenchmark(db, scale_factor=0.5, seed=1)
+    bench.load()
+    assert bench.params["rows"] == 32
+
+
+def test_invalid_scale_factor(db):
+    with pytest.raises(ConfigurationError):
+        MiniBenchmark(db, scale_factor=0)
+
+
+def test_make_procedure_unknown(mini_benchmark):
+    with pytest.raises(BenchmarkError):
+        mini_benchmark.make_procedure("Ghost")
+
+
+def test_default_weights_normalised(mini_benchmark):
+    weights = mini_benchmark.default_weights()
+    assert weights == {"Read": 70.0, "Write": 30.0}
+
+
+def test_presets_three_kinds(mini_benchmark):
+    presets = mini_benchmark.preset_mixtures()
+    assert presets["read-only"] == {"Read": 100.0}
+    assert presets["super-writes"] == {"Write": 100.0}
+    assert presets["default"] == {"Read": 70.0, "Write": 30.0}
+
+
+def test_one_sided_benchmark_preset_falls_back():
+    """Voter has no read-only transaction: read-only keeps the default."""
+    db = Database()
+    bench = VoterBenchmark(db)
+    presets = bench.preset_mixtures()
+    assert presets["read-only"] == presets["default"]
+    assert presets["super-writes"] == {"Vote": 100.0}
+
+
+def test_describe_shape(mini_benchmark):
+    info = mini_benchmark.describe()
+    assert info["name"] == "mini"
+    assert info["transactions"] == ["Read", "Write"]
+    assert "default_weights" in info
+
+
+def test_table_counts(mini_benchmark):
+    assert mini_benchmark.table_counts() == {"kv": 64}
+
+
+def test_default_weights_equal_when_unspecified(db):
+    class Flat(MiniBenchmark):
+        name = "flat"
+
+        class P1(MiniBenchmark.procedures[0]):
+            name = "P1"
+            default_weight = 0
+
+        class P2(MiniBenchmark.procedures[1]):
+            name = "P2"
+            default_weight = 0
+
+        procedures = (P1, P2)
+
+    bench = Flat(db)
+    assert bench.default_weights() == {"P1": 50.0, "P2": 50.0}

@@ -1,0 +1,144 @@
+"""Workload configuration: dict/JSON/XML round trips and validation."""
+
+import pytest
+
+from repro.core.config import WorkloadConfiguration
+from repro.core.phase import RATE_DISABLED, RATE_UNLIMITED
+from repro.errors import ConfigurationError
+
+
+def test_from_dict_minimal():
+    cfg = WorkloadConfiguration.from_dict({"benchmark": "ycsb"})
+    assert cfg.benchmark == "ycsb"
+    assert cfg.workers == 8
+    assert cfg.phases == []
+
+
+def test_from_dict_with_phases():
+    cfg = WorkloadConfiguration.from_dict({
+        "benchmark": "tpcc",
+        "scale_factor": 2,
+        "workers": 4,
+        "seed": 7,
+        "phases": [
+            {"duration": 30, "rate": 100, "weights": {"NewOrder": 100},
+             "arrival": "exponential", "think_time": 0.01, "name": "warm"},
+            {"duration": 60, "rate": "disabled"},
+        ],
+    })
+    assert len(cfg.phases) == 2
+    assert cfg.phases[0].arrival == "exponential"
+    assert cfg.phases[0].name == "warm"
+    assert cfg.phases[1].rate == RATE_DISABLED
+
+
+def test_from_dict_requires_benchmark():
+    with pytest.raises(ConfigurationError):
+        WorkloadConfiguration.from_dict({"workers": 2})
+
+
+def test_dict_round_trip():
+    cfg = WorkloadConfiguration.from_dict({
+        "benchmark": "voter", "workers": 2, "seed": 1,
+        "phases": [{"duration": 5, "rate": 10, "weights": {"Vote": 100}}],
+    })
+    again = WorkloadConfiguration.from_dict(cfg.to_dict())
+    assert again.to_dict() == cfg.to_dict()
+
+
+def test_json_round_trip(tmp_path):
+    cfg = WorkloadConfiguration.from_dict({
+        "benchmark": "voter",
+        "phases": [{"duration": 5, "rate": 10}],
+    })
+    path = tmp_path / "config.json"
+    cfg.to_json(path)
+    loaded = WorkloadConfiguration.from_json(path)
+    assert loaded.benchmark == "voter"
+    assert loaded.phases[0].rate == 10
+
+
+def test_xml_oltpbench_style(tmp_path):
+    path = tmp_path / "config.xml"
+    path.write_text("""
+    <parameters>
+        <benchmark>YCSB</benchmark>
+        <scalefactor>2</scalefactor>
+        <terminals>16</terminals>
+        <isolation>serializable</isolation>
+        <transactiontypes>
+            <transactiontype><name>ReadRecord</name></transactiontype>
+            <transactiontype><name>UpdateRecord</name></transactiontype>
+        </transactiontypes>
+        <works>
+            <work>
+                <time>30</time>
+                <rate>500</rate>
+                <weights>80,20</weights>
+            </work>
+            <work>
+                <time>10</time>
+                <rate>unlimited</rate>
+                <weights>50,50</weights>
+                <arrival>exponential</arrival>
+            </work>
+        </works>
+    </parameters>
+    """)
+    cfg = WorkloadConfiguration.from_xml(path)
+    assert cfg.benchmark == "ycsb"
+    assert cfg.scale_factor == 2.0
+    assert cfg.workers == 16
+    assert cfg.phases[0].rate == 500.0
+    assert cfg.phases[0].weights == {"readrecord": 80.0,
+                                     "updaterecord": 20.0}
+    assert cfg.phases[1].rate == RATE_UNLIMITED
+    assert cfg.phases[1].arrival == "exponential"
+
+
+def test_xml_missing_benchmark_rejected(tmp_path):
+    path = tmp_path / "bad.xml"
+    path.write_text("<parameters><works/></parameters>")
+    with pytest.raises(ConfigurationError):
+        WorkloadConfiguration.from_xml(path)
+
+
+def test_xml_weight_count_mismatch(tmp_path):
+    path = tmp_path / "bad.xml"
+    path.write_text("""
+    <parameters>
+        <benchmark>x</benchmark>
+        <transactiontypes>
+            <transactiontype><name>A</name></transactiontype>
+        </transactiontypes>
+        <works><work><time>5</time><rate>1</rate>
+            <weights>50,50</weights></work></works>
+    </parameters>
+    """)
+    with pytest.raises(ConfigurationError):
+        WorkloadConfiguration.from_xml(path)
+
+
+def test_validated_against_rejects_unknown_txn():
+    cfg = WorkloadConfiguration.from_dict({
+        "benchmark": "x",
+        "phases": [{"duration": 5, "weights": {"Nope": 100}}],
+    })
+    with pytest.raises(ConfigurationError):
+        cfg.validated_against(["Yes"])
+    cfg.validated_against(["Nope"])  # fine when known
+
+
+def test_invalid_workers_and_scale():
+    with pytest.raises(ConfigurationError):
+        WorkloadConfiguration(benchmark="x", workers=0)
+    with pytest.raises(ConfigurationError):
+        WorkloadConfiguration(benchmark="x", scale_factor=0)
+
+
+def test_total_duration():
+    cfg = WorkloadConfiguration.from_dict({
+        "benchmark": "x",
+        "phases": [{"duration": 5}, {"duration": 7.5}],
+    })
+    assert cfg.total_duration() == 12.5

@@ -1,0 +1,175 @@
+"""Simulated executor: deterministic rate control over virtual time."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core import (ARRIVAL_EXPONENTIAL, Phase, RATE_DISABLED,
+                        SimulatedExecutor, WorkloadConfiguration,
+                        WorkloadManager)
+from repro.errors import ConfigurationError
+from repro.trace import TraceAnalyzer
+
+from ..conftest import MiniBenchmark
+
+
+def build(db, phases, workers=4, personality="inmem", seed=1,
+          tenant="tenant-0"):
+    bench = MiniBenchmark(db, seed=42)
+    bench.load()
+    clock = SimClock()
+    cfg = WorkloadConfiguration(benchmark="mini", workers=workers, seed=seed,
+                                tenant=tenant, phases=phases)
+    manager = WorkloadManager(bench, cfg, clock=clock)
+    executor = SimulatedExecutor(db, personality, clock)
+    executor.add_workload(manager)
+    return executor, manager
+
+
+def test_exact_rate_delivery(db):
+    executor, manager = build(db, [Phase(duration=10, rate=120)])
+    executor.run()
+    series = manager.results.per_second_throughput()
+    assert [count for _s, count in series] == [120] * 10
+
+
+def test_rate_never_exceeds_target(db):
+    executor, manager = build(db, [Phase(duration=8, rate=75)])
+    executor.run()
+    analyzer = TraceAnalyzer(manager.results)
+    assert analyzer.rate_cap_violations(cap=75) == 0
+
+
+def test_phase_transition_changes_rate(db):
+    executor, manager = build(db, [
+        Phase(duration=5, rate=40),
+        Phase(duration=5, rate=160),
+    ])
+    executor.run()
+    series = dict(manager.results.per_second_throughput())
+    assert series[2] == 40
+    assert series[7] == 160
+
+
+def test_exponential_arrivals_still_exact_count(db):
+    executor, manager = build(db, [
+        Phase(duration=10, rate=90, arrival=ARRIVAL_EXPONENTIAL)])
+    executor.run()
+    assert manager.results.committed() == 900
+
+
+def test_mid_run_rate_change(db):
+    executor, manager = build(db, [Phase(duration=10, rate=100)])
+    executor.at(5.0, lambda: manager.set_rate(20))
+    executor.run()
+    series = dict(manager.results.per_second_throughput())
+    assert series[3] == 100
+    assert series[7] == 20
+
+
+def test_mid_run_mixture_change(db):
+    executor, manager = build(db, [
+        Phase(duration=10, rate=50, weights={"Read": 100})])
+    executor.at(5.0, lambda: manager.set_weights({"Write": 100}))
+    executor.run()
+    reads = [s for s in manager.results.samples() if s.txn_name == "Read"]
+    writes = [s for s in manager.results.samples() if s.txn_name == "Write"]
+    assert all(s.end <= 6.5 for s in reads)
+    assert writes and all(s.end >= 5.0 for s in writes)
+
+
+def test_pause_and_resume(db):
+    executor, manager = build(db, [Phase(duration=10, rate=50)])
+    executor.at(3.0, manager.pause)
+    executor.at(6.0, manager.resume)
+    executor.run()
+    series = dict(manager.results.per_second_throughput())
+    assert series.get(4, 0) == 0
+    assert series.get(5, 0) == 0
+    assert series[8] > 0
+
+
+def test_closed_loop_saturates_workers(db):
+    executor, manager = build(db, [
+        Phase(duration=5, rate=RATE_DISABLED)], workers=2,
+        personality="derby")
+    executor.run()
+    # Closed loop: throughput bounded by workers / service time, not by
+    # an arrival schedule; with 2 workers it must be > 0 and roughly
+    # steady.
+    assert manager.results.committed() > 100
+
+
+def test_think_time_caps_closed_loop_throughput(db):
+    fast_exec, fast_mgr = build(db, [
+        Phase(duration=10, rate=RATE_DISABLED)], workers=2)
+    fast_exec.run()
+    db2 = type(db)()
+    slow_exec, slow_mgr = build(db2, [
+        Phase(duration=10, rate=RATE_DISABLED, think_time=0.1)], workers=2)
+    slow_exec.run()
+    # 2 workers with 100ms think time -> at most ~20 tps + service slack.
+    assert slow_mgr.results.throughput() < 25
+    assert fast_mgr.results.throughput() > slow_mgr.results.throughput() * 4
+
+
+def test_queue_delay_recorded_when_saturated(db):
+    # derby is slow: 2 workers cannot deliver 20k tps; requests queue.
+    executor, manager = build(db, [Phase(duration=5, rate=20000)],
+                              workers=2, personality="derby")
+    executor.run()
+    delayed = [s for s in manager.results.samples() if s.queue_delay > 0]
+    assert delayed
+    assert manager.results.postponed > 0
+
+
+def test_postponement_keeps_cap_under_overload(db):
+    executor, manager = build(db, [Phase(duration=8, rate=3000)],
+                              workers=2, personality="derby")
+    executor.run()
+    analyzer = TraceAnalyzer(manager.results)
+    assert analyzer.rate_cap_violations(cap=3000) == 0
+
+
+def test_run_until_stops_early(db):
+    executor, manager = build(db, [Phase(duration=100, rate=10)])
+    executor.run(until=5.0)
+    assert manager.results.committed() <= 50 + 10
+
+
+def test_add_workload_requires_shared_clock(db):
+    bench = MiniBenchmark(db, seed=1)
+    bench.load()
+    cfg = WorkloadConfiguration(
+        benchmark="mini", workers=1,
+        phases=[Phase(duration=1, rate=1)])
+    manager = WorkloadManager(bench, cfg, clock=SimClock())  # different clock
+    executor = SimulatedExecutor(db, "inmem", SimClock())
+    with pytest.raises(ConfigurationError):
+        executor.add_workload(manager)
+
+
+def test_run_without_workloads_rejected(db):
+    with pytest.raises(ConfigurationError):
+        SimulatedExecutor(db, "inmem").run()
+
+
+def test_determinism_same_seed_same_results(db):
+    executor1, manager1 = build(db, [Phase(duration=5, rate=80)], seed=9)
+    executor1.run()
+    db2 = type(db)()
+    executor2, manager2 = build(db2, [Phase(duration=5, rate=80)], seed=9)
+    executor2.run()
+    a = [(s.txn_name, s.start, s.latency)
+         for s in manager1.results.samples()]
+    b = [(s.txn_name, s.start, s.latency)
+         for s in manager2.results.samples()]
+    assert a == b
+
+
+def test_samples_tagged_with_tenant_and_worker(db):
+    executor, manager = build(db, [Phase(duration=3, rate=30)],
+                              tenant="alpha")
+    executor.run()
+    samples = manager.results.samples()
+    assert all(s.tenant == "alpha" for s in samples)
+    assert {s.worker_id for s in samples} <= set(range(4))

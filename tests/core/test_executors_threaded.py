@@ -1,0 +1,100 @@
+"""Threaded executor: real workers, wall-clock rate control.
+
+These are short integration runs (a few wall seconds total) proving the
+OLTP-Bench architecture works live, not just in simulation.
+"""
+
+import pytest
+
+from repro.core import (Phase, RATE_DISABLED, ThreadedExecutor,
+                        WorkloadConfiguration, WorkloadManager)
+from repro.engine.service import get_personality
+from repro.errors import ConfigurationError
+
+from ..conftest import MiniBenchmark
+
+
+def run_threaded(db, phases, workers=4, personality=None, timeout=15):
+    bench = MiniBenchmark(db, seed=42)
+    bench.load()
+    cfg = WorkloadConfiguration(benchmark="mini", workers=workers, seed=1,
+                                phases=phases)
+    manager = WorkloadManager(bench, cfg)
+    executor = ThreadedExecutor(db, personality=personality)
+    executor.add_workload(manager)
+    executor.run(timeout=timeout)
+    return manager
+
+
+@pytest.mark.slow
+def test_threaded_rate_control_hits_target(db):
+    manager = run_threaded(db, [Phase(duration=3, rate=200)])
+    throughput = manager.results.throughput()
+    assert manager.results.committed() >= 550  # 3s * 200tps, small slack
+    assert 160 <= throughput <= 220
+
+
+@pytest.mark.slow
+def test_threaded_never_exceeds_rate(db):
+    manager = run_threaded(db, [Phase(duration=3, rate=150)])
+    for _second, count in manager.results.per_second_throughput():
+        assert count <= 165  # bucket-boundary slack only
+
+
+@pytest.mark.slow
+def test_threaded_closed_loop_runs_flat_out(db):
+    manager = run_threaded(db, [
+        Phase(duration=2, rate=RATE_DISABLED)], workers=2)
+    assert manager.results.throughput() > 500  # engine-speed, no throttle
+
+
+@pytest.mark.slow
+def test_threaded_personality_throttles_throughput(db):
+    manager = run_threaded(db, [Phase(duration=2, rate=RATE_DISABLED)],
+                           workers=2, personality=get_personality("derby"))
+    # Derby's ~1.2ms+ service time caps 2 workers well below raw speed.
+    assert manager.results.throughput() < 1400
+
+
+@pytest.mark.slow
+def test_threaded_dynamic_rate_change(db):
+    import threading
+
+    bench = MiniBenchmark(db, seed=42)
+    bench.load()
+    cfg = WorkloadConfiguration(
+        benchmark="mini", workers=4, seed=1,
+        phases=[Phase(duration=4, rate=200)])
+    manager = WorkloadManager(bench, cfg)
+    executor = ThreadedExecutor(db)
+    executor.add_workload(manager)
+    timer = threading.Timer(2.0, lambda: manager.set_rate(40))
+    timer.start()
+    executor.run(timeout=15)
+    timer.cancel()
+    series = [count for _s, count in manager.results.per_second_throughput()]
+    assert max(series) > 150
+    assert min(series[1:-1] or series) < 80
+
+
+@pytest.mark.slow
+def test_threaded_stop_interrupts_run(db):
+    import threading
+
+    bench = MiniBenchmark(db, seed=42)
+    bench.load()
+    cfg = WorkloadConfiguration(
+        benchmark="mini", workers=2, seed=1,
+        phases=[Phase(duration=60, rate=50)])
+    manager = WorkloadManager(bench, cfg)
+    executor = ThreadedExecutor(db)
+    executor.add_workload(manager)
+    threading.Timer(1.0, executor.stop).start()
+    executor.run(timeout=30)
+    assert manager.finished
+    assert manager.results.committed() < 200
+
+
+def test_run_without_workloads_rejected(db):
+    with pytest.raises(ConfigurationError):
+        ThreadedExecutor(db).run()

@@ -1,0 +1,133 @@
+"""Centralized request queue: arrival gating, postponement, pausing."""
+
+import threading
+import time
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.requestqueue import (POLICY_BACKLOG, POLICY_CAP, Request,
+                                     RequestQueue)
+from repro.errors import ConfigurationError
+
+
+def test_poll_respects_arrival_time():
+    clock = SimClock()
+    queue = RequestQueue(clock=clock)
+    queue.offer_batch([0.5, 0.7])
+    assert queue.poll(0.4) is None
+    request = queue.poll(0.5)
+    assert request is not None and request.arrival_time == 0.5
+    assert queue.poll(0.6) is None
+    assert queue.poll(0.7) is not None
+
+
+def test_fifo_order_and_seq():
+    queue = RequestQueue(clock=SimClock())
+    queue.offer_batch([0.1, 0.2, 0.3])
+    takes = [queue.poll(1.0) for _ in range(3)]
+    assert [t.arrival_time for t in takes] == [0.1, 0.2, 0.3]
+    assert takes[0].seq < takes[1].seq < takes[2].seq
+
+
+def test_cap_policy_sheds_stale_requests():
+    """Unserved requests are postponed when the next batch arrives."""
+    queue = RequestQueue(clock=SimClock(), policy=POLICY_CAP)
+    queue.offer_batch([0.0, 0.5])  # never served
+    shed = queue.offer_batch([1.0, 1.5])
+    assert shed == 2
+    assert queue.postponed == 2
+    assert len(queue) == 2
+    assert queue.poll(2.0).arrival_time == 1.0
+
+
+def test_backlog_policy_keeps_everything():
+    queue = RequestQueue(clock=SimClock(), policy=POLICY_BACKLOG)
+    queue.offer_batch([0.0, 0.5])
+    shed = queue.offer_batch([1.0, 1.5])
+    assert shed == 0
+    assert len(queue) == 4
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ConfigurationError):
+        RequestQueue(policy="magic")
+
+
+def test_pause_blocks_poll():
+    queue = RequestQueue(clock=SimClock())
+    queue.offer_batch([0.0])
+    queue.pause()
+    assert queue.poll(1.0) is None
+    queue.resume()
+    assert queue.poll(1.0) is not None
+
+
+def test_clear_drops_pending():
+    queue = RequestQueue(clock=SimClock())
+    queue.offer_batch([0.0, 0.1, 0.2])
+    assert queue.clear() == 3
+    assert len(queue) == 0
+
+
+def test_shutdown_unblocks_take():
+    queue = RequestQueue()  # real clock
+    result = {}
+
+    def taker():
+        result["request"] = queue.take(timeout=5.0)
+
+    thread = threading.Thread(target=taker, daemon=True)
+    thread.start()
+    time.sleep(0.05)
+    queue.shutdown()
+    thread.join(2.0)
+    assert result["request"] is None
+
+
+def test_take_blocks_until_arrival_time():
+    queue = RequestQueue()  # real clock
+    now = queue.clock.now()
+    queue.offer_batch([now + 0.15])
+    started = time.monotonic()
+    request = queue.take(timeout=2.0)
+    waited = time.monotonic() - started
+    assert request is not None
+    assert waited >= 0.10
+
+
+def test_take_timeout_returns_none():
+    queue = RequestQueue()
+    started = time.monotonic()
+    assert queue.take(timeout=0.1) is None
+    assert time.monotonic() - started < 1.0
+
+
+def test_take_wakes_on_offer():
+    queue = RequestQueue()
+    result = {}
+
+    def taker():
+        result["request"] = queue.take(timeout=5.0)
+
+    thread = threading.Thread(target=taker, daemon=True)
+    thread.start()
+    time.sleep(0.05)
+    queue.offer_batch([queue.clock.now()])
+    thread.join(2.0)
+    assert result["request"] is not None
+
+
+def test_counters():
+    queue = RequestQueue(clock=SimClock())
+    queue.offer_batch([0.0, 0.1])
+    queue.poll(1.0)
+    assert queue.offered == 2
+    assert queue.taken == 1
+
+
+def test_next_arrival():
+    queue = RequestQueue(clock=SimClock())
+    assert queue.next_arrival() is None
+    queue.offer_batch([3.5])
+    assert queue.next_arrival() == 3.5

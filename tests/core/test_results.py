@@ -1,0 +1,121 @@
+"""Results accumulation: throughput, percentiles, merging."""
+
+import pytest
+
+from repro.core.results import (LatencySample, Results, STATUS_ABORTED,
+                                STATUS_ERROR, STATUS_OK, merge, percentile)
+
+
+def sample(txn="T", start=0.0, queue_delay=0.0, latency=0.01,
+           status=STATUS_OK, tenant="tenant-0"):
+    return LatencySample(txn, start, queue_delay, latency, status,
+                         tenant=tenant)
+
+
+def test_counts_by_status_and_txn():
+    results = Results()
+    results.record(sample("A"))
+    results.record(sample("A", status=STATUS_ABORTED))
+    results.record(sample("B", status=STATUS_ERROR))
+    assert results.count() == 3
+    assert results.committed() == 1
+    assert results.aborted() == 1
+    assert results.count(STATUS_OK, "A") == 1
+    assert results.count(txn_name="A") == 2
+    assert results.abort_rate() == pytest.approx(1 / 3)
+
+
+def test_sample_end_and_response_time():
+    s = sample(start=10.0, queue_delay=0.5, latency=0.25)
+    assert s.end == 10.75
+    assert s.response_time == 0.75
+
+
+def test_throughput_over_duration():
+    results = Results()
+    for i in range(100):
+        results.record(sample(start=i * 0.1, latency=0.05))
+    assert results.throughput() == pytest.approx(
+        100 / results.duration(), rel=1e-6)
+
+
+def test_throughput_window():
+    results = Results()
+    for i in range(10):
+        results.record(sample(start=float(i)))  # ends at i + 0.01
+    assert results.throughput(window=(0.0, 5.0)) == pytest.approx(1.0)
+    assert results.throughput(window=(20.0, 25.0)) == 0.0
+
+
+def test_per_second_throughput_counts_commits_only():
+    results = Results()
+    results.record(sample(start=1.2))
+    results.record(sample(start=1.7))
+    results.record(sample(start=1.8, status=STATUS_ABORTED))
+    results.record(sample(start=2.5))
+    assert results.per_second_throughput() == [(1, 2), (2, 1)]
+
+
+def test_latency_percentiles():
+    results = Results()
+    for latency in [0.01 * i for i in range(1, 101)]:
+        results.record(sample(latency=latency))
+    summary = results.latency_percentiles()
+    assert summary["min"] == pytest.approx(0.01)
+    assert summary["max"] == pytest.approx(1.0)
+    assert summary["p50"] == pytest.approx(0.505, rel=0.02)
+    assert summary["p99"] == pytest.approx(0.99, rel=0.02)
+    assert summary["avg"] == pytest.approx(0.505, rel=0.01)
+
+
+def test_latency_percentiles_empty():
+    assert Results().latency_percentiles() == {}
+
+
+def test_percentile_function():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == pytest.approx(2.5)
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    assert percentile([7.0], 99) == 7.0
+
+
+def test_summary_structure():
+    results = Results()
+    results.record(sample("A"))
+    results.record(sample("B", status=STATUS_ABORTED))
+    results.record_postponed(3)
+    summary = results.summary()
+    assert summary["total"] == 2
+    assert summary["postponed"] == 3
+    assert set(summary["per_txn"]) == {"A", "B"}
+    assert summary["per_txn"]["B"]["aborted"] == 1
+
+
+def test_merge_combines_results():
+    a, b = Results(), Results()
+    a.record(sample("A", tenant="t1"))
+    b.record(sample("B", tenant="t2"))
+    b.record_postponed(2)
+    merged = merge([a, b])
+    assert len(merged) == 2
+    assert merged.postponed == 2
+    assert merged.txn_names() == ["A", "B"]
+
+
+def test_thread_safety_smoke():
+    import threading
+    results = Results()
+
+    def writer():
+        for i in range(500):
+            results.record(sample(start=float(i)))
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(results) == 2000

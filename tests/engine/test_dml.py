@@ -1,0 +1,199 @@
+"""DDL + DML execution through the DB-API: CRUD, constraints, defaults."""
+
+import pytest
+
+from repro.engine import Database, connect
+from repro.errors import IntegrityError, ProgrammingError
+
+from ..conftest import execute
+
+
+@pytest.fixture
+def people(conn):
+    execute(conn, """
+        CREATE TABLE people (
+            id INT PRIMARY KEY,
+            name VARCHAR(20) NOT NULL,
+            age INT,
+            city VARCHAR(20) DEFAULT 'unknown'
+        )
+    """)
+    execute(conn, "INSERT INTO people (id, name, age) VALUES "
+                  "(1, 'alice', 30), (2, 'bob', 25), (3, 'carol', 35)")
+    conn.commit()
+    return conn
+
+
+def test_insert_and_select(people):
+    cur = execute(people, "SELECT name FROM people WHERE id = ?", (2,))
+    assert cur.fetchone() == ("bob",)
+
+
+def test_insert_rowcount(people):
+    cur = execute(people, "INSERT INTO people (id, name) VALUES (4, 'dan')")
+    assert cur.rowcount == 1
+
+
+def test_multi_row_insert_rowcount(conn):
+    execute(conn, "CREATE TABLE t (a INT PRIMARY KEY)")
+    cur = execute(conn, "INSERT INTO t (a) VALUES (1), (2), (3)")
+    assert cur.rowcount == 3
+
+
+def test_default_value_applied(people):
+    execute(people, "INSERT INTO people (id, name) VALUES (9, 'zoe')")
+    cur = execute(people, "SELECT city FROM people WHERE id = 9")
+    assert cur.fetchone() == ("unknown",)
+
+
+def test_missing_column_without_default_is_null(people):
+    execute(people, "INSERT INTO people (id, name) VALUES (8, 'yan')")
+    cur = execute(people, "SELECT age FROM people WHERE id = 8")
+    assert cur.fetchone() == (None,)
+
+
+def test_not_null_violation(people):
+    with pytest.raises(IntegrityError):
+        execute(people, "INSERT INTO people (id, age) VALUES (5, 20)")
+
+
+def test_duplicate_pk_rejected(people):
+    with pytest.raises(IntegrityError):
+        execute(people, "INSERT INTO people (id, name) VALUES (1, 'dup')")
+
+
+def test_null_pk_rejected(people):
+    with pytest.raises(IntegrityError):
+        execute(people, "INSERT INTO people (id, name) VALUES (NULL, 'x')")
+
+
+def test_update_with_expression(people):
+    cur = execute(people, "UPDATE people SET age = age + 1 WHERE age < 31")
+    assert cur.rowcount == 2
+    people.commit()
+    cur = execute(people, "SELECT SUM(age) FROM people")
+    assert cur.fetchone()[0] == 30 + 25 + 35 + 2
+
+
+def test_update_no_match_rowcount_zero(people):
+    cur = execute(people, "UPDATE people SET age = 1 WHERE id = 99")
+    assert cur.rowcount == 0
+
+
+def test_update_pk_to_conflicting_value_rejected(people):
+    with pytest.raises(IntegrityError):
+        execute(people, "UPDATE people SET id = 2 WHERE id = 1")
+
+
+def test_update_pk_to_free_value_ok(people):
+    execute(people, "UPDATE people SET id = 10 WHERE id = 1")
+    people.commit()
+    cur = execute(people, "SELECT name FROM people WHERE id = 10")
+    assert cur.fetchone() == ("alice",)
+    cur = execute(people, "SELECT COUNT(*) FROM people WHERE id = 1")
+    assert cur.fetchone() == (0,)
+
+
+def test_delete(people):
+    cur = execute(people, "DELETE FROM people WHERE age > 28")
+    assert cur.rowcount == 2
+    people.commit()
+    cur = execute(people, "SELECT COUNT(*) FROM people")
+    assert cur.fetchone() == (1,)
+
+
+def test_delete_all(people):
+    cur = execute(people, "DELETE FROM people")
+    assert cur.rowcount == 3
+
+
+def test_halloween_protection(conn):
+    """An UPDATE must not revisit rows it has just written."""
+    execute(conn, "CREATE TABLE t (a INT PRIMARY KEY, v INT)")
+    execute(conn, "INSERT INTO t (a, v) VALUES (1, 1), (2, 2)")
+    conn.commit()
+    cur = execute(conn, "UPDATE t SET v = v + 10 WHERE v < 100")
+    assert cur.rowcount == 2
+    conn.commit()
+    cur = execute(conn, "SELECT v FROM t ORDER BY a")
+    assert cur.fetchall() == [(11,), (12,)]
+
+
+def test_varchar_truncation_on_insert(conn):
+    execute(conn, "CREATE TABLE t (a INT PRIMARY KEY, s VARCHAR(3))")
+    execute(conn, "INSERT INTO t (a, s) VALUES (1, 'abcdef')")
+    cur = execute(conn, "SELECT s FROM t")
+    assert cur.fetchone() == ("abc",)
+
+
+def test_insert_column_count_mismatch(conn):
+    execute(conn, "CREATE TABLE t (a INT, b INT)")
+    with pytest.raises(ProgrammingError):
+        execute(conn, "INSERT INTO t (a, b) VALUES (1)")
+
+
+def test_unknown_table_raises(conn):
+    with pytest.raises(ProgrammingError):
+        execute(conn, "SELECT * FROM missing")
+
+
+def test_unknown_column_raises(people):
+    with pytest.raises(ProgrammingError):
+        execute(people, "SELECT nope FROM people")
+
+
+# -- DDL ------------------------------------------------------------------------
+
+
+def test_create_table_twice_rejected(conn):
+    execute(conn, "CREATE TABLE t (a INT)")
+    with pytest.raises(ProgrammingError):
+        execute(conn, "CREATE TABLE t (a INT)")
+
+
+def test_create_table_if_not_exists_is_idempotent(conn):
+    execute(conn, "CREATE TABLE t (a INT)")
+    execute(conn, "CREATE TABLE IF NOT EXISTS t (a INT)")
+
+
+def test_drop_table(conn):
+    execute(conn, "CREATE TABLE t (a INT)")
+    execute(conn, "DROP TABLE t")
+    with pytest.raises(ProgrammingError):
+        execute(conn, "SELECT * FROM t")
+
+
+def test_drop_missing_table_if_exists(conn):
+    execute(conn, "DROP TABLE IF EXISTS missing")
+    with pytest.raises(ProgrammingError):
+        execute(conn, "DROP TABLE missing")
+
+
+def test_ddl_inside_transaction_rejected(conn):
+    execute(conn, "CREATE TABLE t (a INT PRIMARY KEY)")
+    execute(conn, "INSERT INTO t (a) VALUES (1)")  # opens a transaction
+    with pytest.raises(ProgrammingError):
+        execute(conn, "CREATE TABLE u (a INT)")
+    conn.rollback()
+
+
+def test_create_index_backfills(db, conn):
+    execute(conn, "CREATE TABLE t (a INT PRIMARY KEY, b INT)")
+    execute(conn, "INSERT INTO t (a, b) VALUES (1, 10), (2, 10), (3, 20)")
+    conn.commit()
+    execute(conn, "CREATE INDEX idx_b ON t (b)")
+    data = db.table_data("t")
+    assert len(data.index_lookup("idx_b", (10,))) == 2
+    assert len(data.index_lookup("idx_b", (20,))) == 1
+
+
+def test_bulk_insert_fast_path(db):
+    connection = connect(db)
+    execute(connection, "CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(4))")
+    count = db.bulk_insert("t", [(i, f"row{i}") for i in range(100)])
+    assert count == 100
+    cur = execute(connection, "SELECT COUNT(*), MAX(a) FROM t")
+    assert cur.fetchone() == (100, 99)
+    # Type coercion still applies on the fast path.
+    cur = execute(connection, "SELECT b FROM t WHERE a = 5")
+    assert cur.fetchone() == ("row5"[:4],)

@@ -1,0 +1,120 @@
+"""Data dumps: round trips and benchmark restore (Fig. 1 "Data Dumps")."""
+
+import random
+
+import pytest
+
+from repro.benchmarks import REGISTRY, create_benchmark
+from repro.engine import Database, connect
+from repro.engine.dump import dump_database, restore_database
+from repro.errors import DataError
+
+from ..conftest import execute
+
+
+def test_dump_restore_round_trip(tmp_path, db, conn):
+    execute(conn, """
+        CREATE TABLE t (
+            id INT PRIMARY KEY,
+            name VARCHAR(8) NOT NULL,
+            score FLOAT,
+            flag BOOLEAN DEFAULT TRUE
+        )
+    """)
+    execute(conn, "CREATE INDEX idx_t_name ON t (name)")
+    execute(conn, "INSERT INTO t (id, name, score) VALUES "
+                  "(1, 'a', 1.5), (2, 'b', NULL), (3, 'c', -2.25)")
+    conn.commit()
+
+    path = tmp_path / "db.dump.json"
+    manifest = dump_database(db, path)
+    assert manifest == {"t": 3}
+
+    restored = restore_database(path)
+    check = connect(restored)
+    cur = execute(check, "SELECT id, name, score FROM t ORDER BY id")
+    assert cur.fetchall() == [(1, "a", 1.5), (2, "b", None),
+                              (3, "c", -2.25)]
+    # Schema survives: PK and index usable, defaults intact.
+    cur = execute(check, "SELECT id FROM t WHERE name = 'b'")
+    assert cur.fetchall() == [(2,)]
+    execute(check, "INSERT INTO t (id, name) VALUES (9, 'z')")
+    cur = execute(check, "SELECT flag FROM t WHERE id = 9")
+    assert cur.fetchone() == (True,)
+    with pytest.raises(Exception):
+        execute(check, "INSERT INTO t (id, name) VALUES (1, 'dup')")
+    check.rollback()
+
+
+def test_dump_excludes_uncommitted_and_deleted(tmp_path, db, conn):
+    execute(conn, "CREATE TABLE t (id INT PRIMARY KEY)")
+    execute(conn, "INSERT INTO t VALUES (1), (2)")
+    conn.commit()
+    execute(conn, "DELETE FROM t WHERE id = 2")
+    conn.commit()
+    execute(conn, "INSERT INTO t VALUES (3)")  # left uncommitted
+    path = tmp_path / "d.json"
+    manifest = dump_database(db, path)
+    assert manifest == {"t": 1}
+    conn.rollback()
+
+
+def test_restore_rejects_unknown_format(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"format": 99, "tables": []}')
+    with pytest.raises(DataError):
+        restore_database(path)
+
+
+@pytest.mark.parametrize("name", ["ycsb", "smallbank", "voter", "tpcc",
+                                  "seats", "linkbench"])
+def test_benchmark_restore_and_run(tmp_path, name):
+    """Dump a loaded benchmark, restore it, derive params, run txns."""
+    kwargs = {}
+    if name == "tpcc":
+        kwargs = dict(districts=2, customers_per_district=20, items=50,
+                      initial_orders=10)
+    db = Database()
+    bench = create_benchmark(name, db, scale_factor=0.2, seed=5, **kwargs)
+    bench.load()
+    path = tmp_path / f"{name}.json"
+    dump_database(db, path)
+
+    db2 = restore_database(path)
+    bench2 = create_benchmark(name, db2, scale_factor=0.2, seed=5, **kwargs)
+    bench2.derive_params()
+    assert bench2.loaded
+    # Same live row counts.
+    assert bench2.table_counts() == bench.table_counts()
+
+    # The restored benchmark executes its whole mixture.
+    conn = connect(db2)
+    rng = random.Random(9)
+    from repro.core.procedure import UserAbort
+    committed = 0
+    for txn_name in bench2.procedure_names():
+        for _ in range(3):
+            try:
+                bench2.make_procedure(txn_name).run(conn, rng)
+                committed += 1
+            except UserAbort:
+                conn.rollback()
+    assert committed > 0
+    conn.close()
+
+
+def test_all_benchmarks_support_derive_params():
+    """Every registered benchmark can rebuild params from data."""
+    for name in REGISTRY:
+        kwargs = {}
+        if name in ("tpcc", "chbenchmark"):
+            kwargs = dict(districts=2, customers_per_district=10, items=30,
+                          initial_orders=5)
+        db = Database()
+        bench = create_benchmark(name, db, scale_factor=0.1, seed=3,
+                                 **kwargs)
+        bench.load()
+        fresh = create_benchmark(name, db, scale_factor=0.1, seed=3,
+                                 **kwargs)
+        fresh.derive_params()
+        assert fresh.loaded, name

@@ -1,0 +1,87 @@
+"""Tokenizer behaviour: literals, identifiers, operators, comments."""
+
+import pytest
+
+from repro.engine.sqlparser.lexer import Token, tokenize
+from repro.errors import ProgrammingError
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)[:-1]]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+def test_keywords_are_case_insensitive():
+    assert values("SELECT select SeLeCt") == ["select"] * 3
+
+
+def test_identifiers_lowercased():
+    assert values("FooBar") == ["foobar"]
+    assert kinds("FooBar") == ["ident"]
+
+
+def test_quoted_identifier_preserves_case():
+    tokens = tokenize('"MixedCase"')
+    assert tokens[0].kind == "ident"
+    assert tokens[0].value == "MixedCase"
+
+
+def test_integer_and_float_literals():
+    tokens = tokenize("42 3.14 .5 1e3 2.5E-2")
+    assert [t.value for t in tokens[:-1]] == [42, 3.14, 0.5, 1000.0, 0.025]
+    assert tokens[0].kind == "number"
+
+
+def test_string_literal_with_escaped_quote():
+    tokens = tokenize("'it''s'")
+    assert tokens[0].value == "it's"
+    assert tokens[0].kind == "string"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(ProgrammingError):
+        tokenize("'oops")
+
+
+def test_two_char_operators():
+    assert values("<= >= <> != ||") == ["<=", ">=", "<>", "!=", "||"]
+
+
+def test_param_markers_counted_individually():
+    tokens = tokenize("? ? ?")
+    assert all(t.kind == "param" for t in tokens[:-1])
+    assert len(tokens) == 4  # 3 params + eof
+
+
+def test_line_comment_skipped():
+    assert values("SELECT -- hidden\n 1") == ["select", 1]
+
+
+def test_block_comment_skipped():
+    assert values("SELECT /* hidden\nacross lines */ 1") == ["select", 1]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(ProgrammingError):
+        tokenize("SELECT /* oops")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(ProgrammingError):
+        tokenize("SELECT @")
+
+
+def test_eof_token_terminates_stream():
+    tokens = tokenize("SELECT 1")
+    assert tokens[-1].kind == "eof"
+
+
+def test_token_matches_helper():
+    token = Token("keyword", "select", 0)
+    assert token.matches("keyword")
+    assert token.matches("keyword", "select")
+    assert not token.matches("keyword", "insert")
+    assert not token.matches("ident")

@@ -1,0 +1,134 @@
+"""Lock manager semantics: sharing, upgrades, deadlock, timeout."""
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.locks import EXCLUSIVE, LockManager, SHARED
+from repro.errors import DeadlockError, LockTimeoutError
+
+
+@pytest.fixture
+def lm():
+    return LockManager(timeout=0.5)
+
+
+def test_shared_locks_are_compatible(lm):
+    assert lm.acquire("t1", "r", SHARED)
+    assert lm.acquire("t2", "r", SHARED)
+    assert lm.holds("t1", "r", SHARED)
+    assert lm.holds("t2", "r", SHARED)
+
+
+def test_exclusive_excludes_shared(lm):
+    lm.acquire("t1", "r", EXCLUSIVE)
+    assert not lm.try_acquire("t2", "r", SHARED)
+    assert not lm.try_acquire("t2", "r", EXCLUSIVE)
+
+
+def test_reacquire_is_noop(lm):
+    assert lm.acquire("t1", "r", SHARED)
+    assert lm.acquire("t1", "r", SHARED) is False
+    lm.acquire("t1", "r", EXCLUSIVE)
+    assert lm.acquire("t1", "r", SHARED) is False  # X covers S
+
+
+def test_upgrade_s_to_x_when_alone(lm):
+    lm.acquire("t1", "r", SHARED)
+    assert lm.acquire("t1", "r", EXCLUSIVE)
+    assert not lm.try_acquire("t2", "r", SHARED)
+
+
+def test_release_all_frees_everything(lm):
+    lm.acquire("t1", "a", EXCLUSIVE)
+    lm.acquire("t1", "b", SHARED)
+    lm.release_all("t1")
+    assert lm.try_acquire("t2", "a", EXCLUSIVE)
+    assert lm.try_acquire("t2", "b", EXCLUSIVE)
+
+
+def test_blocked_acquire_wakes_on_release(lm):
+    lm.acquire("t1", "r", EXCLUSIVE)
+    acquired = threading.Event()
+
+    def taker():
+        lm.acquire("t2", "r", EXCLUSIVE, timeout=5.0)
+        acquired.set()
+
+    thread = threading.Thread(target=taker, daemon=True)
+    thread.start()
+    time.sleep(0.05)
+    assert not acquired.is_set()
+    lm.release_all("t1")
+    assert acquired.wait(2.0)
+    thread.join(1.0)
+
+
+def test_timeout_raises(lm):
+    lm.acquire("t1", "r", EXCLUSIVE)
+
+    result = {}
+
+    def taker():
+        try:
+            lm.acquire("t2", "r", SHARED, timeout=0.1)
+        except LockTimeoutError:
+            result["timeout"] = True
+
+    thread = threading.Thread(target=taker, daemon=True)
+    thread.start()
+    thread.join(2.0)
+    assert result.get("timeout")
+    assert lm.stats.timeouts == 1
+
+
+def test_deadlock_detected_across_threads(lm):
+    """t1 holds a, wants b; t2 holds b, wants a — one must die."""
+    lm_local = LockManager(timeout=5.0)
+    barrier = threading.Barrier(2)
+    outcomes = {}
+
+    def worker(me, first, second):
+        lm_local.acquire(me, first, EXCLUSIVE)
+        barrier.wait()
+        try:
+            lm_local.acquire(me, second, EXCLUSIVE, timeout=3.0)
+            outcomes[me] = "ok"
+        except DeadlockError:
+            outcomes[me] = "deadlock"
+            lm_local.release_all(me)
+
+    t1 = threading.Thread(target=worker, args=("t1", "a", "b"), daemon=True)
+    t2 = threading.Thread(target=worker, args=("t2", "b", "a"), daemon=True)
+    t1.start()
+    t2.start()
+    t1.join(5.0)
+    t2.join(5.0)
+    assert "deadlock" in outcomes.values()
+    assert lm_local.stats.deadlocks >= 1
+
+
+def test_same_thread_conflict_raises_immediately(lm):
+    """Two transactions on one thread must not block forever."""
+    lm.acquire("t1", "r", EXCLUSIVE)
+    started = time.monotonic()
+    with pytest.raises(DeadlockError):
+        lm.acquire("t2", "r", EXCLUSIVE, timeout=10.0)
+    assert time.monotonic() - started < 1.0
+
+
+def test_active_lock_count(lm):
+    lm.acquire("t1", "a", SHARED)
+    lm.acquire("t2", "a", SHARED)
+    lm.acquire("t1", "b", EXCLUSIVE)
+    assert lm.active_lock_count() == 3
+    lm.release_all("t1")
+    assert lm.active_lock_count() == 1
+
+
+def test_stats_acquisitions_counted(lm):
+    lm.acquire("t1", "a", SHARED)
+    lm.acquire("t1", "b", SHARED)
+    lm.acquire("t1", "a", SHARED)  # no-op: not re-counted
+    assert lm.stats.acquisitions == 2

@@ -1,0 +1,265 @@
+"""Parser coverage: every statement form and the expression grammar."""
+
+import pytest
+
+from repro.engine.sqlparser import ast, parse
+from repro.errors import ProgrammingError
+
+
+# -- SELECT -----------------------------------------------------------------
+
+
+def test_simple_select():
+    stmt = parse("SELECT a, b FROM t")
+    assert isinstance(stmt, ast.Select)
+    assert [i.expr.column for i in stmt.items] == ["a", "b"]
+    assert stmt.table.name == "t"
+
+
+def test_select_star():
+    stmt = parse("SELECT * FROM t")
+    assert stmt.items[0].star
+
+
+def test_select_qualified_star():
+    stmt = parse("SELECT t.* FROM t")
+    assert stmt.items[0].star
+    assert stmt.items[0].star_table == "t"
+
+
+def test_select_with_alias_forms():
+    stmt = parse("SELECT a AS x, b y FROM t")
+    assert stmt.items[0].alias == "x"
+    assert stmt.items[1].alias == "y"
+
+
+def test_select_where_precedence():
+    stmt = parse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+    # AND binds tighter than OR.
+    assert stmt.where.op == "or"
+    assert stmt.where.right.op == "and"
+
+
+def test_select_join_on():
+    stmt = parse("SELECT a FROM t JOIN u ON t.id = u.id")
+    assert len(stmt.joins) == 1
+    assert stmt.joins[0].kind == "inner"
+    assert isinstance(stmt.joins[0].condition, ast.BinaryOp)
+
+
+def test_select_left_join():
+    stmt = parse("SELECT a FROM t LEFT JOIN u ON t.id = u.id")
+    assert stmt.joins[0].kind == "left"
+    stmt = parse("SELECT a FROM t LEFT OUTER JOIN u ON t.id = u.id")
+    assert stmt.joins[0].kind == "left"
+
+
+def test_select_comma_join():
+    stmt = parse("SELECT a FROM t, u WHERE t.id = u.id")
+    assert stmt.joins[0].kind == "cross"
+    assert stmt.joins[0].condition is None
+
+
+def test_select_group_by_having():
+    stmt = parse("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2")
+    assert len(stmt.group_by) == 1
+    assert stmt.having is not None
+
+
+def test_select_order_limit_offset():
+    stmt = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 10 OFFSET 5")
+    assert stmt.order_by[0].descending
+    assert not stmt.order_by[1].descending
+    assert isinstance(stmt.limit, ast.Literal)
+    assert stmt.offset.value == 5
+
+
+def test_select_for_update():
+    stmt = parse("SELECT a FROM t WHERE a = ? FOR UPDATE")
+    assert stmt.for_update
+
+
+def test_select_distinct():
+    assert parse("SELECT DISTINCT a FROM t").distinct
+
+
+def test_select_without_from():
+    stmt = parse("SELECT 1 + 2")
+    assert stmt.table is None
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+def test_between_and_not_between():
+    stmt = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 5")
+    assert isinstance(stmt.where, ast.Between)
+    stmt = parse("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 5")
+    assert stmt.where.negated
+
+
+def test_in_list():
+    stmt = parse("SELECT a FROM t WHERE a IN (1, 2, 3)")
+    assert isinstance(stmt.where, ast.InList)
+    assert len(stmt.where.options) == 3
+
+
+def test_like_and_not_like():
+    stmt = parse("SELECT a FROM t WHERE a LIKE 'x%'")
+    assert isinstance(stmt.where, ast.Like)
+    stmt = parse("SELECT a FROM t WHERE a NOT LIKE 'x%'")
+    assert stmt.where.negated
+
+
+def test_is_null_and_is_not_null():
+    assert not parse("SELECT a FROM t WHERE a IS NULL").where.negated
+    assert parse("SELECT a FROM t WHERE a IS NOT NULL").where.negated
+
+
+def test_case_expression():
+    stmt = parse("SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t")
+    expr = stmt.items[0].expr
+    assert isinstance(expr, ast.CaseExpr)
+    assert expr.default is not None
+
+
+def test_count_star_and_distinct():
+    stmt = parse("SELECT COUNT(*), COUNT(DISTINCT a) FROM t")
+    star, distinct = (item.expr for item in stmt.items)
+    assert star.star
+    assert distinct.distinct
+
+
+def test_param_indices_assigned_in_order():
+    stmt = parse("SELECT a FROM t WHERE a = ? AND b = ? AND c = ?")
+    params = [n for n in ast.walk(stmt.where) if isinstance(n, ast.Param)]
+    assert [p.index for p in params] == [0, 1, 2]
+
+
+def test_count_params_helper():
+    stmt = parse("UPDATE t SET a = ?, b = ? WHERE c = ?")
+    assert ast.count_params(stmt) == 3
+
+
+def test_unary_minus_and_arithmetic_precedence():
+    stmt = parse("SELECT -a + b * 2 FROM t")
+    expr = stmt.items[0].expr
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_string_concat():
+    stmt = parse("SELECT a || 'x' FROM t")
+    assert stmt.items[0].expr.op == "||"
+
+
+# -- DML -------------------------------------------------------------------------
+
+
+def test_insert_single_row():
+    stmt = parse("INSERT INTO t (a, b) VALUES (?, ?)")
+    assert isinstance(stmt, ast.Insert)
+    assert stmt.columns == ("a", "b")
+    assert len(stmt.rows) == 1
+
+
+def test_insert_multi_row():
+    stmt = parse("INSERT INTO t (a) VALUES (1), (2), (3)")
+    assert len(stmt.rows) == 3
+
+
+def test_insert_without_column_list():
+    stmt = parse("INSERT INTO t VALUES (1, 2)")
+    assert stmt.columns == ()
+
+
+def test_update():
+    stmt = parse("UPDATE t SET a = a + 1, b = ? WHERE c = 2")
+    assert isinstance(stmt, ast.Update)
+    assert [a.column for a in stmt.assignments] == ["a", "b"]
+    assert stmt.where is not None
+
+
+def test_delete():
+    stmt = parse("DELETE FROM t WHERE a = 1")
+    assert isinstance(stmt, ast.Delete)
+
+
+def test_delete_without_where():
+    assert parse("DELETE FROM t").where is None
+
+
+# -- DDL ----------------------------------------------------------------------------
+
+
+def test_create_table_with_inline_pk():
+    stmt = parse("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(10))")
+    assert isinstance(stmt, ast.CreateTable)
+    assert stmt.primary_key == ("id",)
+    assert stmt.columns[1].type_args == (10,)
+
+
+def test_create_table_with_composite_pk():
+    stmt = parse("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+    assert stmt.primary_key == ("a", "b")
+
+
+def test_create_table_not_null_and_default():
+    stmt = parse("CREATE TABLE t (a INT NOT NULL, b INT DEFAULT 5)")
+    assert stmt.columns[0].not_null
+    assert stmt.columns[1].default.value == 5
+
+
+def test_create_table_if_not_exists():
+    assert parse("CREATE TABLE IF NOT EXISTS t (a INT)").if_not_exists
+
+
+def test_create_table_with_foreign_key():
+    stmt = parse(
+        "CREATE TABLE t (a INT, FOREIGN KEY (a) REFERENCES u (id))")
+    assert stmt.foreign_keys == ((("a",), "u", ("id",)),)
+
+
+def test_create_index():
+    stmt = parse("CREATE INDEX idx ON t (a, b)")
+    assert isinstance(stmt, ast.CreateIndex)
+    assert stmt.columns == ("a", "b")
+    assert not stmt.unique
+
+
+def test_create_unique_index():
+    assert parse("CREATE UNIQUE INDEX idx ON t (a)").unique
+
+
+def test_drop_table():
+    stmt = parse("DROP TABLE IF EXISTS t")
+    assert isinstance(stmt, ast.DropTable)
+    assert stmt.if_exists
+
+
+def test_duplicate_primary_key_rejected():
+    with pytest.raises(ProgrammingError):
+        parse("CREATE TABLE t (a INT PRIMARY KEY, PRIMARY KEY (a))")
+
+
+# -- errors ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("bad", [
+    "SELECT",
+    "SELECT FROM t",
+    "INSERT t VALUES (1)",
+    "UPDATE t a = 1",
+    "CREATE t",
+    "SELECT a FROM t WHERE",
+    "SELECT a FROM t GROUP",
+    "garbage",
+    "SELECT a FROM t; SELECT b FROM t",
+])
+def test_syntax_errors(bad):
+    with pytest.raises(ProgrammingError):
+        parse(bad)
+
+
+def test_trailing_semicolon_allowed():
+    assert isinstance(parse("SELECT 1;"), ast.Select)

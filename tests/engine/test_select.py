@@ -1,0 +1,234 @@
+"""SELECT pipeline: filtering, ordering, limits, joins, aggregation."""
+
+import pytest
+
+from repro.errors import ProgrammingError
+
+from ..conftest import execute
+
+
+@pytest.fixture
+def shop(conn):
+    execute(conn, """
+        CREATE TABLE orders (
+            o_id INT PRIMARY KEY,
+            cust INT NOT NULL,
+            total FLOAT NOT NULL,
+            region VARCHAR(8)
+        )
+    """)
+    execute(conn, "CREATE INDEX idx_orders_cust ON orders (cust)")
+    execute(conn, """
+        CREATE TABLE customers (
+            c_id INT PRIMARY KEY,
+            name VARCHAR(16) NOT NULL
+        )
+    """)
+    execute(conn, "INSERT INTO customers (c_id, name) VALUES "
+                  "(1, 'alice'), (2, 'bob'), (3, 'carol')")
+    execute(conn, "INSERT INTO orders (o_id, cust, total, region) VALUES "
+                  "(10, 1, 100.0, 'east'), (11, 1, 50.0, 'west'), "
+                  "(12, 2, 75.0, 'east'), (13, 2, 25.0, NULL), "
+                  "(14, 1, 10.0, 'east')")
+    conn.commit()
+    return conn
+
+
+def test_where_filters(shop):
+    cur = execute(shop, "SELECT o_id FROM orders WHERE total > 60 "
+                        "ORDER BY o_id")
+    assert cur.fetchall() == [(10,), (12,)]
+
+
+def test_where_null_filters_out(shop):
+    cur = execute(shop, "SELECT o_id FROM orders WHERE region = 'east'")
+    assert len(cur.fetchall()) == 3  # the NULL-region row never matches
+
+
+def test_order_by_desc_and_multiple_keys(shop):
+    cur = execute(shop, "SELECT cust, total FROM orders "
+                        "ORDER BY cust DESC, total ASC")
+    assert cur.fetchall() == [
+        (2, 25.0), (2, 75.0), (1, 10.0), (1, 50.0), (1, 100.0)]
+
+
+def test_order_by_nulls_last(shop):
+    cur = execute(shop, "SELECT region FROM orders ORDER BY region")
+    regions = [r[0] for r in cur.fetchall()]
+    assert regions[-1] is None
+
+
+def test_order_by_positional(shop):
+    cur = execute(shop, "SELECT o_id, total FROM orders ORDER BY 2 DESC")
+    assert cur.fetchone() == (10, 100.0)
+
+
+def test_limit_offset(shop):
+    cur = execute(shop, "SELECT o_id FROM orders ORDER BY o_id "
+                        "LIMIT 2 OFFSET 1")
+    assert cur.fetchall() == [(11,), (12,)]
+
+
+def test_limit_zero(shop):
+    cur = execute(shop, "SELECT o_id FROM orders LIMIT 0")
+    assert cur.fetchall() == []
+
+
+def test_distinct(shop):
+    cur = execute(shop, "SELECT DISTINCT cust FROM orders ORDER BY cust")
+    assert cur.fetchall() == [(1,), (2,)]
+
+
+def test_select_star_column_order(shop):
+    cur = execute(shop, "SELECT * FROM customers WHERE c_id = 1")
+    assert cur.fetchone() == (1, "alice")
+    assert [d[0] for d in cur.description] == ["c_id", "name"]
+
+
+def test_expression_projection_with_alias(shop):
+    cur = execute(shop, "SELECT total * 2 AS double_total FROM orders "
+                        "WHERE o_id = 10")
+    assert cur.fetchone() == (200.0,)
+    assert cur.description[0][0] == "double_total"
+
+
+def test_select_without_from(conn):
+    cur = execute(conn, "SELECT 1 + 1, 'x'")
+    assert cur.fetchone() == (2, "x")
+
+
+# -- joins ---------------------------------------------------------------------
+
+
+def test_inner_join(shop):
+    cur = execute(shop, """
+        SELECT c.name, o.total FROM customers c
+        JOIN orders o ON o.cust = c.c_id
+        WHERE o.total >= 75 ORDER BY o.total
+    """)
+    assert cur.fetchall() == [("bob", 75.0), ("alice", 100.0)]
+
+
+def test_left_join_preserves_unmatched(shop):
+    cur = execute(shop, """
+        SELECT c.name, o.o_id FROM customers c
+        LEFT JOIN orders o ON o.cust = c.c_id
+        ORDER BY c.c_id, o.o_id
+    """)
+    rows = cur.fetchall()
+    assert ("carol", None) in rows
+    assert len(rows) == 6  # 5 matches + carol's null row
+
+
+def test_comma_join_with_where(shop):
+    cur = execute(shop, """
+        SELECT COUNT(*) FROM customers c, orders o
+        WHERE o.cust = c.c_id
+    """)
+    assert cur.fetchone() == (5,)
+
+
+def test_three_way_join(conn):
+    execute(conn, "CREATE TABLE a (id INT PRIMARY KEY, bid INT)")
+    execute(conn, "CREATE TABLE b (id INT PRIMARY KEY, cid INT)")
+    execute(conn, "CREATE TABLE c (id INT PRIMARY KEY, v VARCHAR(4))")
+    execute(conn, "INSERT INTO a VALUES (1, 10), (2, 20)")
+    execute(conn, "INSERT INTO b VALUES (10, 100), (20, 200)")
+    execute(conn, "INSERT INTO c VALUES (100, 'x'), (200, 'y')")
+    conn.commit()
+    cur = execute(conn, """
+        SELECT a.id, c.v FROM a
+        JOIN b ON b.id = a.bid
+        JOIN c ON c.id = b.cid
+        ORDER BY a.id
+    """)
+    assert cur.fetchall() == [(1, "x"), (2, "y")]
+
+
+def test_duplicate_binding_rejected(shop):
+    with pytest.raises(ProgrammingError):
+        execute(shop, "SELECT 1 FROM orders JOIN orders ON 1 = 1")
+
+
+def test_self_join_with_aliases(shop):
+    cur = execute(shop, """
+        SELECT o1.o_id, o2.o_id FROM orders o1
+        JOIN orders o2 ON o2.cust = o1.cust
+        WHERE o1.o_id < o2.o_id AND o1.cust = 2
+    """)
+    assert cur.fetchall() == [(12, 13)]
+
+
+def test_ambiguous_column_rejected(conn):
+    execute(conn, "CREATE TABLE x (v INT)")
+    execute(conn, "CREATE TABLE y (v INT)")
+    execute(conn, "INSERT INTO x (v) VALUES (1)")
+    execute(conn, "INSERT INTO y (v) VALUES (2)")
+    conn.commit()
+    with pytest.raises(ProgrammingError):
+        execute(conn, "SELECT v FROM x JOIN y ON x.v = y.v - 1")
+
+
+# -- aggregation -------------------------------------------------------------------
+
+
+def test_global_aggregates(shop):
+    cur = execute(shop, "SELECT COUNT(*), SUM(total), MIN(total), "
+                        "MAX(total), AVG(total) FROM orders")
+    count, total, low, high, avg = cur.fetchone()
+    assert count == 5
+    assert total == 260.0
+    assert (low, high) == (10.0, 100.0)
+    assert avg == pytest.approx(52.0)
+
+
+def test_aggregates_skip_nulls(shop):
+    cur = execute(shop, "SELECT COUNT(region) FROM orders")
+    assert cur.fetchone() == (4,)
+
+
+def test_aggregate_on_empty_set(shop):
+    cur = execute(shop, "SELECT COUNT(*), SUM(total) FROM orders "
+                        "WHERE total > 1000")
+    assert cur.fetchone() == (0, None)
+
+
+def test_group_by(shop):
+    cur = execute(shop, "SELECT cust, COUNT(*), SUM(total) FROM orders "
+                        "GROUP BY cust ORDER BY cust")
+    assert cur.fetchall() == [(1, 3, 160.0), (2, 2, 100.0)]
+
+
+def test_group_by_having(shop):
+    cur = execute(shop, "SELECT cust, COUNT(*) FROM orders GROUP BY cust "
+                        "HAVING COUNT(*) > 2")
+    assert cur.fetchall() == [(1, 3)]
+
+
+def test_group_by_order_by_aggregate(shop):
+    cur = execute(shop, "SELECT cust, SUM(total) AS s FROM orders "
+                        "GROUP BY cust ORDER BY s DESC")
+    assert [r[0] for r in cur.fetchall()] == [1, 2]
+
+
+def test_count_distinct(shop):
+    cur = execute(shop, "SELECT COUNT(DISTINCT region) FROM orders")
+    assert cur.fetchone() == (2,)
+
+
+def test_aggregate_arithmetic(shop):
+    cur = execute(shop, "SELECT SUM(total) / COUNT(*) FROM orders")
+    assert cur.fetchone()[0] == pytest.approx(52.0)
+
+
+def test_case_inside_aggregate(shop):
+    cur = execute(shop, """
+        SELECT SUM(CASE WHEN region = 'east' THEN 1 ELSE 0 END) FROM orders
+    """)
+    assert cur.fetchone() == (3,)
+
+
+def test_group_by_expression(shop):
+    cur = execute(shop, "SELECT cust % 2, COUNT(*) FROM orders "
+                        "GROUP BY cust % 2 ORDER BY 1")
+    assert cur.fetchall() == [(0, 2), (1, 3)]

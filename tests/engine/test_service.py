@@ -1,0 +1,88 @@
+"""DBMS personality model: service times, saturation, load tracking."""
+
+import random
+
+import pytest
+
+from repro.engine.service import (DbmsPersonality, LoadTracker,
+                                  PERSONALITIES, get_personality)
+
+
+def test_all_demo_stages_present():
+    # The Fig. 2b selection screen: PostgreSQL, Apache Derby, Oracle, MySQL.
+    for name in ("mysql", "postgres", "oracle", "derby"):
+        assert name in PERSONALITIES
+
+
+def test_get_personality_unknown():
+    with pytest.raises(KeyError):
+        get_personality("mongodb")
+
+
+def test_service_time_scales_with_footprint():
+    p = get_personality("mysql")
+    rng = random.Random(1)
+    small = sum(p.service_time(rng, 1, 0, 1, 0) for _ in range(200))
+    rng = random.Random(1)
+    large = sum(p.service_time(rng, 1000, 100, 1, 0) for _ in range(200))
+    assert large > small * 5
+
+
+def test_service_time_processor_sharing():
+    p = DbmsPersonality("x", "stage", cpu_cores=4, jitter_sigma=0.0)
+    rng = random.Random(1)
+    uncontended = p.service_time(rng, 10, 0, active=4, active_writers=0)
+    contended = p.service_time(rng, 10, 0, active=16, active_writers=0)
+    assert contended == pytest.approx(uncontended * 4)
+
+
+def test_write_contention_only_affects_writers():
+    p = DbmsPersonality("x", "stage", write_contention=0.1,
+                        jitter_sigma=0.0)
+    rng = random.Random(1)
+    reader = p.service_time(rng, 10, 0, active=5, active_writers=5)
+    writer_alone = p.service_time(rng, 10, 2, active=1, active_writers=1)
+    writer_crowded = p.service_time(rng, 10, 2, active=5, active_writers=5)
+    base_reader = p.service_time(rng, 10, 0, active=1, active_writers=0)
+    assert reader == pytest.approx(base_reader)  # readers don't pay
+    assert writer_crowded > writer_alone
+
+
+def test_jitter_disperses_samples():
+    noisy = DbmsPersonality("x", "s", jitter_sigma=0.3)
+    tight = DbmsPersonality("y", "s", jitter_sigma=0.0)
+    rng = random.Random(7)
+    noisy_samples = [noisy.service_time(rng, 10, 0, 1, 0)
+                     for _ in range(100)]
+    tight_samples = [tight.service_time(rng, 10, 0, 1, 0)
+                     for _ in range(100)]
+    assert max(tight_samples) == pytest.approx(min(tight_samples))
+    assert max(noisy_samples) > min(noisy_samples) * 1.5
+
+
+def test_derby_is_slower_and_noisier_than_oracle():
+    derby = get_personality("derby")
+    oracle = get_personality("oracle")
+    assert derby.saturation_tps() < oracle.saturation_tps() / 4
+    assert derby.jitter_sigma > oracle.jitter_sigma
+
+
+def test_saturation_tps_formula():
+    p = DbmsPersonality("x", "s", overhead_ms=1.0, read_row_ms=0.0,
+                        write_row_ms=0.0, cpu_cores=8)
+    assert p.saturation_tps(0, 0) == pytest.approx(8 / 0.001)
+
+
+def test_load_tracker_counts():
+    tracker = LoadTracker()
+    tracker.started(1, is_writer=True)
+    tracker.started(2, is_writer=False)
+    assert tracker.active == 2
+    assert tracker.active_writers == 1
+    assert tracker.peak_active == 2
+    tracker.finished(1)
+    assert tracker.active == 1
+    assert tracker.active_writers == 0
+    tracker.finished(2)
+    tracker.finished(2)  # double-finish tolerated
+    assert tracker.active == 0

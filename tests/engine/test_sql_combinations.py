@@ -1,0 +1,159 @@
+"""Harder SQL combinations: joins + aggregates + ordering interplay."""
+
+import pytest
+
+from repro.errors import ProgrammingError
+
+from ..conftest import execute
+
+
+@pytest.fixture
+def sales(conn):
+    execute(conn, """
+        CREATE TABLE region (r_id INT PRIMARY KEY, r_name VARCHAR(10))
+    """)
+    execute(conn, """
+        CREATE TABLE sale (
+            s_id INT PRIMARY KEY,
+            r_id INT NOT NULL,
+            amount FLOAT NOT NULL,
+            kind VARCHAR(4)
+        )
+    """)
+    execute(conn, "CREATE INDEX idx_sale_region ON sale (r_id)")
+    execute(conn, "INSERT INTO region VALUES (1, 'east'), (2, 'west'), "
+                  "(3, 'north')")
+    execute(conn, "INSERT INTO sale VALUES "
+                  "(1, 1, 10.0, 'a'), (2, 1, 20.0, 'b'), "
+                  "(3, 2, 5.0, 'a'), (4, 2, 15.0, NULL), "
+                  "(5, 2, 30.0, 'b')")
+    conn.commit()
+    return conn
+
+
+def test_join_group_by_with_having(sales):
+    cur = execute(sales, """
+        SELECT r.r_name, COUNT(*) AS n, SUM(s.amount) AS total
+        FROM region r JOIN sale s ON s.r_id = r.r_id
+        GROUP BY r.r_name
+        HAVING SUM(s.amount) > 25
+        ORDER BY total DESC
+    """)
+    assert cur.fetchall() == [("west", 3, 50.0), ("east", 2, 30.0)]
+
+
+def test_left_join_group_counts_unmatched_as_zero(sales):
+    cur = execute(sales, """
+        SELECT r.r_name, COUNT(s.s_id) FROM region r
+        LEFT JOIN sale s ON s.r_id = r.r_id
+        GROUP BY r.r_name ORDER BY r.r_name
+    """)
+    assert cur.fetchall() == [("east", 2), ("north", 0), ("west", 3)]
+
+
+def test_aggregate_arithmetic_in_having(sales):
+    cur = execute(sales, """
+        SELECT r_id, SUM(amount) / COUNT(*) FROM sale
+        GROUP BY r_id HAVING SUM(amount) / COUNT(*) >= 16
+        ORDER BY r_id
+    """)
+    assert cur.fetchall() == [(2, pytest.approx(50.0 / 3))]
+
+
+def test_case_aggregation_by_kind(sales):
+    cur = execute(sales, """
+        SELECT SUM(CASE WHEN kind = 'a' THEN amount ELSE 0 END),
+               SUM(CASE WHEN kind = 'b' THEN amount ELSE 0 END),
+               SUM(CASE WHEN kind IS NULL THEN amount ELSE 0 END)
+        FROM sale
+    """)
+    assert cur.fetchone() == (15.0, 50.0, 15.0)
+
+
+def test_distinct_on_join_result(sales):
+    cur = execute(sales, """
+        SELECT DISTINCT r.r_name FROM region r
+        JOIN sale s ON s.r_id = r.r_id
+        ORDER BY r.r_name
+    """)
+    assert cur.fetchall() == [("east",), ("west",)]
+
+
+def test_order_by_expression_not_in_select(sales):
+    cur = execute(sales, "SELECT s_id FROM sale ORDER BY amount * -1")
+    assert [r[0] for r in cur.fetchall()] == [5, 2, 4, 1, 3]
+
+
+def test_limit_after_group_order(sales):
+    cur = execute(sales, """
+        SELECT r_id, MAX(amount) FROM sale GROUP BY r_id
+        ORDER BY 2 DESC LIMIT 1
+    """)
+    assert cur.fetchall() == [(2, 30.0)]
+
+
+def test_in_list_with_params(sales):
+    cur = execute(sales, "SELECT COUNT(*) FROM sale WHERE kind IN (?, ?)",
+                  ("a", "b"))
+    assert cur.fetchone() == (4,)
+
+
+def test_not_in_excludes_nulls(sales):
+    # SQL semantics: NULL kind rows are UNKNOWN, filtered out.
+    cur = execute(sales, "SELECT COUNT(*) FROM sale "
+                         "WHERE kind NOT IN ('a')")
+    assert cur.fetchone() == (2,)
+
+
+def test_join_on_expression(sales):
+    cur = execute(sales, """
+        SELECT COUNT(*) FROM region r JOIN sale s
+        ON s.r_id = r.r_id AND s.amount > 10
+    """)
+    assert cur.fetchone() == (3,)
+
+
+def test_group_by_null_groups_together(sales):
+    cur = execute(sales, "SELECT kind, COUNT(*) FROM sale GROUP BY kind "
+                         "ORDER BY kind")
+    rows = cur.fetchall()
+    assert (None, 1) in rows
+    assert ("a", 2) in rows and ("b", 2) in rows
+
+
+def test_count_star_vs_count_column(sales):
+    cur = execute(sales, "SELECT COUNT(*), COUNT(kind) FROM sale")
+    assert cur.fetchone() == (5, 4)
+
+
+def test_nested_aggregate_rejected(sales):
+    with pytest.raises(ProgrammingError):
+        execute(sales, "SELECT SUM(MAX(amount)) FROM sale")
+    sales.rollback()
+
+
+def test_min_max_on_strings(sales):
+    cur = execute(sales, "SELECT MIN(r_name), MAX(r_name) FROM region")
+    assert cur.fetchone() == ("east", "west")
+
+
+def test_three_table_star_join_with_filter(conn):
+    execute(conn, "CREATE TABLE a (id INT PRIMARY KEY, x INT)")
+    execute(conn, "CREATE TABLE b (id INT PRIMARY KEY, aid INT, y INT)")
+    execute(conn, "CREATE INDEX idx_b_aid ON b (aid)")
+    execute(conn, "CREATE TABLE c (id INT PRIMARY KEY, bid INT, z INT)")
+    execute(conn, "CREATE INDEX idx_c_bid ON c (bid)")
+    execute(conn, "INSERT INTO a VALUES (1, 10), (2, 20)")
+    execute(conn, "INSERT INTO b VALUES (1, 1, 100), (2, 2, 200)")
+    execute(conn, "INSERT INTO c VALUES (1, 1, 1000), (2, 2, 2000)")
+    conn.commit()
+    cur = execute(conn, """
+        SELECT a.x + b.y + c.z FROM a
+        JOIN b ON b.aid = a.id
+        JOIN c ON c.bid = b.id
+        WHERE a.x > 10
+    """)
+    assert cur.fetchall() == [(2220,)]
+    conn.commit()
+    # Inner joins used indexes, not full scans, for the inner tables.
+    assert conn.last_txn_stats.index_lookups >= 2

@@ -1,0 +1,127 @@
+"""Version-chain storage and conservative index maintenance."""
+
+import pytest
+
+from repro.engine.catalog import ColumnDef, IndexDef, TableSchema
+from repro.engine.storage import READ_LATEST, TableData, Version
+from repro.engine.types import SqlType
+from repro.errors import IntegrityError
+
+
+def make_table(with_secondary=True):
+    schema = TableSchema(
+        "t",
+        (ColumnDef("id", SqlType("int")), ColumnDef("grp", SqlType("int")),
+         ColumnDef("val", SqlType("text"))),
+        primary_key=("id",))
+    data = TableData(schema)
+    if with_secondary:
+        data.add_index(IndexDef("idx_grp", "t", ("grp",)))
+    return data
+
+
+def test_insert_and_visible_version():
+    data = make_table()
+    rowid = data.new_rowid()
+    data.apply_insert(rowid, (1, 10, "a"), commit_ts=1.0)
+    version = data.visible_version(rowid, READ_LATEST)
+    assert version.values == (1, 10, "a")
+
+
+def test_snapshot_visibility_by_timestamp():
+    data = make_table()
+    rowid = data.new_rowid()
+    data.apply_insert(rowid, (1, 10, "a"), commit_ts=1.0)
+    data.apply_update(rowid, (1, 10, "b"), commit_ts=5.0)
+    assert data.visible_version(rowid, 1.0).values[2] == "a"
+    assert data.visible_version(rowid, 4.9).values[2] == "a"
+    assert data.visible_version(rowid, 5.0).values[2] == "b"
+    assert data.visible_version(rowid, 0.5) is None
+
+
+def test_tombstone_hides_row():
+    data = make_table()
+    rowid = data.new_rowid()
+    data.apply_insert(rowid, (1, 10, "a"), commit_ts=1.0)
+    data.apply_delete(rowid, commit_ts=2.0)
+    assert data.visible_version(rowid, READ_LATEST).is_tombstone
+    assert data.visible_version(rowid, 1.5).values == (1, 10, "a")
+
+
+def test_duplicate_pk_insert_rejected():
+    data = make_table()
+    data.apply_insert(data.new_rowid(), (1, 10, "a"), commit_ts=1.0)
+    with pytest.raises(IntegrityError):
+        data.apply_insert(data.new_rowid(), (1, 20, "b"), commit_ts=2.0)
+
+
+def test_pk_reusable_after_delete():
+    data = make_table()
+    rowid = data.new_rowid()
+    data.apply_insert(rowid, (1, 10, "a"), commit_ts=1.0)
+    data.apply_delete(rowid, commit_ts=2.0)
+    data.apply_insert(data.new_rowid(), (1, 30, "c"), commit_ts=3.0)
+    assert data.pk_lookup_latest((1,)) is not None
+
+
+def test_index_superset_includes_old_keys_until_prune():
+    data = make_table()
+    rowid = data.new_rowid()
+    data.apply_insert(rowid, (1, 10, "a"), commit_ts=1.0)
+    data.apply_update(rowid, (1, 20, "a"), commit_ts=2.0)
+    # Conservative superset: both the old and new group keys point here.
+    assert rowid in data.index_lookup("idx_grp", (10,))
+    assert rowid in data.index_lookup("idx_grp", (20,))
+    data.prune(min_active_snapshot=READ_LATEST)
+    assert rowid not in data.index_lookup("idx_grp", (10,))
+    assert rowid in data.index_lookup("idx_grp", (20,))
+
+
+def test_prune_respects_active_snapshots():
+    data = make_table()
+    rowid = data.new_rowid()
+    data.apply_insert(rowid, (1, 10, "a"), commit_ts=1.0)
+    data.apply_update(rowid, (1, 10, "b"), commit_ts=5.0)
+    dropped = data.prune(min_active_snapshot=2.0)  # snapshot still needs v1
+    assert dropped == 0
+    assert data.visible_version(rowid, 2.0).values[2] == "a"
+    dropped = data.prune(min_active_snapshot=READ_LATEST)
+    assert dropped == 1
+
+
+def test_prune_removes_fully_dead_rows():
+    data = make_table()
+    rowid = data.new_rowid()
+    data.apply_insert(rowid, (1, 10, "a"), commit_ts=1.0)
+    data.apply_delete(rowid, commit_ts=2.0)
+    data.prune(min_active_snapshot=READ_LATEST)
+    assert data.visible_version(rowid, READ_LATEST) is None
+    assert data.index_lookup("idx_grp", (10,)) == set()
+    assert data.pk_lookup_latest((1,)) is None
+    assert data.count_live() == 0
+
+
+def test_find_index_prefers_most_columns():
+    data = make_table()
+    data.add_index(IndexDef("idx_grp_val", "t", ("grp", "val")))
+    chosen = data.find_index({"grp", "val", "id"})
+    # The PK has one column; idx_grp_val covers two.
+    assert chosen.name == "idx_grp_val"
+    assert data.find_index({"val"}) is None or \
+        data.find_index({"val"}).columns == ("val",)
+
+
+def test_count_live():
+    data = make_table()
+    for i in range(5):
+        data.apply_insert(data.new_rowid(), (i, 0, "x"), commit_ts=1.0)
+    assert data.count_live() == 5
+
+
+def test_backfilled_index_covers_existing_rows():
+    data = make_table(with_secondary=False)
+    for i in range(3):
+        data.apply_insert(data.new_rowid(), (i, i % 2, "x"), commit_ts=1.0)
+    data.add_index(IndexDef("idx_late", "t", ("grp",)))
+    assert len(data.index_lookup("idx_late", (0,))) == 2
+    assert len(data.index_lookup("idx_late", (1,))) == 1

@@ -1,0 +1,108 @@
+"""Type coercion and SQL comparison semantics."""
+
+import pytest
+
+from repro.engine.types import SqlType, compare_values
+from repro.errors import DataError
+
+
+def test_integer_affinity_coercion():
+    t = SqlType("int")
+    assert t.coerce(5) == 5
+    assert t.coerce(5.0) == 5
+    assert t.coerce("7") == 7
+    assert t.coerce(True) == 1
+
+
+def test_integer_rejects_fractional():
+    with pytest.raises(DataError):
+        SqlType("bigint").coerce(1.5)
+
+
+def test_integer_rejects_garbage_string():
+    with pytest.raises(DataError):
+        SqlType("int").coerce("abc")
+
+
+def test_float_affinity():
+    t = SqlType("decimal", (10, 2))
+    assert t.coerce(3) == 3.0
+    assert isinstance(t.coerce(3), float)
+    assert t.coerce("2.5") == 2.5
+
+
+def test_varchar_truncates_to_declared_length():
+    t = SqlType("varchar", (4,))
+    assert t.coerce("abcdef") == "abcd"
+    assert t.coerce("ab") == "ab"
+
+
+def test_text_without_length_unbounded():
+    assert SqlType("text").coerce("x" * 1000) == "x" * 1000
+
+
+def test_text_stringifies_numbers():
+    assert SqlType("varchar", (10,)).coerce(42) == "42"
+
+
+def test_boolean_affinity():
+    t = SqlType("boolean")
+    assert t.coerce("true") is True
+    assert t.coerce(0) is False
+    with pytest.raises(DataError):
+        t.coerce("maybe")
+
+
+def test_timestamp_stores_float_seconds():
+    t = SqlType("timestamp")
+    assert t.coerce(100) == 100.0
+    assert t.coerce("3.5") == 3.5
+    with pytest.raises(DataError):
+        t.coerce("not-a-time")
+
+
+def test_null_passes_through_all_types():
+    for name in ("int", "float", "varchar", "boolean", "timestamp"):
+        assert SqlType(name, (5,) if name == "varchar" else ()).coerce(
+            None) is None
+
+
+def test_unknown_type_raises():
+    with pytest.raises(DataError):
+        SqlType("fancytype").coerce(1)
+
+
+# -- comparisons ---------------------------------------------------------------
+
+
+def test_compare_numbers():
+    assert compare_values(1, 2) == -1
+    assert compare_values(2, 2) == 0
+    assert compare_values(3, 2) == 1
+    assert compare_values(1, 1.5) == -1
+
+
+def test_compare_null_is_unknown():
+    assert compare_values(None, 1) is None
+    assert compare_values(1, None) is None
+    assert compare_values(None, None) is None
+
+
+def test_compare_strings():
+    assert compare_values("apple", "banana") == -1
+    assert compare_values("b", "b") == 0
+
+
+def test_compare_mixed_numeric_string():
+    assert compare_values("10", 9) == 1  # numeric interpretation wins
+    assert compare_values(5, "5") == 0
+
+
+def test_compare_mixed_non_numeric_string():
+    # Falls back to string comparison when the string isn't numeric.
+    assert compare_values("abc", 1) is not None
+
+
+def test_bool_compares_as_int():
+    assert compare_values(True, 1) == 0
+    assert compare_values(False, 1) == -1

@@ -1,0 +1,91 @@
+"""Engine and host monitors."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core import (Phase, SimulatedExecutor, WorkloadConfiguration,
+                        WorkloadManager)
+from repro.engine import Database, connect
+from repro.monitor import EngineMonitor, HostMonitor
+
+from ..conftest import MiniBenchmark
+
+
+def test_first_sample_returns_none(db):
+    monitor = EngineMonitor(db)
+    assert monitor.sample(0.0) is None
+    assert monitor.samples == []
+
+
+def test_deltas_between_samples(db):
+    conn = connect(db)
+    cur = conn.cursor()
+    cur.execute("CREATE TABLE t (a INT PRIMARY KEY)")
+    monitor = EngineMonitor(db)
+    monitor.sample(0.0)
+    for i in range(10):
+        cur.execute("INSERT INTO t VALUES (?)", (i,))
+    conn.commit()
+    sample = monitor.sample(1.0)
+    assert sample.rows_written == 10
+    assert sample.commits == 1
+    assert sample.interval == 1.0
+    # A second idle interval shows zero deltas.
+    idle = monitor.sample(2.0)
+    assert idle.rows_written == 0
+    assert idle.commits == 0
+    conn.close()
+
+
+def test_sample_rates(db):
+    conn = connect(db)
+    cur = conn.cursor()
+    cur.execute("CREATE TABLE t (a INT PRIMARY KEY)")
+    monitor = EngineMonitor(db)
+    monitor.sample(0.0)
+    for i in range(20):
+        cur.execute("INSERT INTO t VALUES (?)", (i,))
+        conn.commit()
+    sample = monitor.sample(2.0)
+    assert sample.commits_per_sec == pytest.approx(10.0)
+    assert sample.as_row()["commits"] == 20
+    conn.close()
+
+
+def test_monitor_scheduled_on_simulated_run(db):
+    bench = MiniBenchmark(db, seed=42)
+    bench.load()
+    clock = SimClock()
+    cfg = WorkloadConfiguration(
+        benchmark="mini", workers=4, seed=1,
+        phases=[Phase(duration=10, rate=50)])
+    manager = WorkloadManager(bench, cfg, clock=clock)
+    executor = SimulatedExecutor(db, "inmem", clock)
+    executor.add_workload(manager)
+    monitor = EngineMonitor(db)
+    monitor.schedule_on(executor, interval=1.0, until=10.0)
+    executor.run()
+    assert len(monitor.samples) >= 8
+    commits = sum(s.commits for s in monitor.samples)
+    assert commits == pytest.approx(500, abs=60)
+
+
+def test_saturation_signal_rises_with_lock_waits(db):
+    monitor = EngineMonitor(db)
+    monitor.sample(0.0)
+    assert monitor.saturation_signal() == 0.0
+    db.lock_manager.stats.wait_time += 2.5
+    monitor.sample(1.0)
+    assert monitor.saturation_signal() > 0
+
+
+def test_host_monitor_samples_without_crashing():
+    monitor = HostMonitor()
+    first = monitor.sample(0.0)
+    second = monitor.sample(1.0)
+    assert first.time == 0.0
+    # On Linux the second sample should carry a CPU fraction in [0, 1].
+    if monitor.available:
+        assert second.cpu_busy_fraction is None or \
+            0.0 <= second.cpu_busy_fraction <= 1.0
+        assert second.mem_used_kb is None or second.mem_used_kb > 0

@@ -1,0 +1,80 @@
+"""Command-line interface: list, run, dump/restore, game."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_table1(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "tpcc" in out
+    assert "Feature Testing" in out
+    assert out.count("\n") >= 16  # header + 15 rows
+
+
+def test_run_simulated(capsys):
+    code = main(["run", "--benchmark", "ycsb", "--scale", "0.2",
+                 "--rate", "50", "--duration", "5", "--workers", "4",
+                 "--dbms", "oracle", "--seed", "3"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["benchmark"] == "ycsb"
+    assert payload["committed"] == 250
+    assert payload["throughput_tps"] == pytest.approx(50, rel=0.05)
+    assert payload["per_txn"]
+
+
+def test_run_with_trace_output(tmp_path, capsys):
+    trace = tmp_path / "trace.csv"
+    code = main(["run", "--benchmark", "voter", "--scale", "0.2",
+                 "--rate", "20", "--duration", "4", "--trace", str(trace)])
+    assert code == 0
+    from repro.trace import read_trace
+    results = read_trace(trace)
+    assert len(results) == 80
+
+
+def test_run_with_config_file(tmp_path, capsys):
+    config = tmp_path / "wl.json"
+    config.write_text(json.dumps({
+        "benchmark": "sibench", "workers": 2, "seed": 1,
+        "phases": [{"duration": 3, "rate": 10},
+                   {"duration": 3, "rate": 30}],
+    }))
+    code = main(["run", "--benchmark", "sibench", "--scale", "0.5",
+                 "--config", str(config)])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["committed"] == 120
+
+
+def test_dump_then_restore_run(tmp_path, capsys):
+    dump_path = tmp_path / "smallbank.json"
+    assert main(["dump", "--benchmark", "smallbank", "--scale", "0.1",
+                 "--output", str(dump_path)]) == 0
+    manifest = json.loads(capsys.readouterr().out)
+    assert manifest["tables"]["accounts"] == 100
+
+    code = main(["run", "--benchmark", "smallbank", "--scale", "0.1",
+                 "--rate", "30", "--duration", "4",
+                 "--restore", str(dump_path)])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["committed"] + payload["aborted"] == 120
+
+
+def test_game_command(capsys):
+    code = main(["game", "--benchmark", "voter", "--dbms", "oracle"])
+    assert code == 0
+    out = capsys.readouterr().out
+    summary = json.loads(out[out.rindex("{\n"):])
+    assert summary["state"] in ("completed", "crashed")
+    assert "@" in out  # at least one rendered frame
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--benchmark", "mongomark"])

@@ -1,0 +1,135 @@
+"""Clock abstractions: real, simulated, and the interruptible sleeper."""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import RealClock, SimClock, StoppableSleeper
+
+
+def test_real_clock_monotonic():
+    clock = RealClock()
+    a = clock.now()
+    clock.sleep(0.01)
+    assert clock.now() > a
+    assert not clock.is_virtual
+    clock.sleep(-1)  # negative sleeps are no-ops
+
+
+def test_sim_clock_starts_at_given_time():
+    assert SimClock(5.0).now() == 5.0
+    assert SimClock().is_virtual
+
+
+def test_sim_clock_rejects_sleep():
+    with pytest.raises(RuntimeError):
+        SimClock().sleep(1)
+
+
+def test_events_run_in_time_order():
+    clock = SimClock()
+    log = []
+    clock.call_at(3.0, lambda: log.append("c"))
+    clock.call_at(1.0, lambda: log.append("a"))
+    clock.call_at(2.0, lambda: log.append("b"))
+    clock.run()
+    assert log == ["a", "b", "c"]
+    assert clock.now() == 3.0
+
+
+def test_same_time_events_fifo():
+    clock = SimClock()
+    log = []
+    for i in range(5):
+        clock.call_at(1.0, lambda i=i: log.append(i))
+    clock.run()
+    assert log == [0, 1, 2, 3, 4]
+
+
+def test_past_events_clamped_to_now():
+    clock = SimClock(10.0)
+    fired = []
+    clock.call_at(5.0, lambda: fired.append(clock.now()))
+    clock.run()
+    assert fired == [10.0]
+
+
+def test_call_later():
+    clock = SimClock(2.0)
+    fired = []
+    clock.call_later(3.0, lambda: fired.append(clock.now()))
+    clock.run()
+    assert fired == [5.0]
+
+
+def test_events_scheduled_by_events():
+    clock = SimClock()
+    log = []
+
+    def cascade(depth):
+        log.append((clock.now(), depth))
+        if depth < 3:
+            clock.call_later(1.0, lambda: cascade(depth + 1))
+
+    clock.call_at(0.0, lambda: cascade(0))
+    clock.run()
+    assert log == [(0.0, 0), (1.0, 1), (2.0, 2), (3.0, 3)]
+
+
+def test_run_until_leaves_future_events():
+    clock = SimClock()
+    fired = []
+    clock.call_at(1.0, lambda: fired.append(1))
+    clock.call_at(10.0, lambda: fired.append(10))
+    clock.run_until(5.0)
+    assert fired == [1]
+    assert clock.now() == 5.0
+    assert clock.pending() == 1
+    clock.run()
+    assert fired == [1, 10]
+
+
+def test_step_returns_false_when_empty():
+    clock = SimClock()
+    assert clock.step() is False
+    clock.call_at(1.0, lambda: None)
+    assert clock.step() is True
+    assert clock.step() is False
+
+
+def test_sleeper_interruptible():
+    sleeper = StoppableSleeper()
+    woke = []
+
+    def sleep_long():
+        woke.append(sleeper.sleep(5.0))
+
+    thread = threading.Thread(target=sleep_long, daemon=True)
+    started = time.monotonic()
+    thread.start()
+    time.sleep(0.05)
+    sleeper.wake()
+    thread.join(2.0)
+    assert woke == [True]
+    assert time.monotonic() - started < 2.0
+
+
+def test_sleeper_timeout_returns_false():
+    sleeper = StoppableSleeper()
+    assert sleeper.sleep(0.01) is False
+    assert sleeper.sleep(0) is False
+
+
+@given(times=st.lists(st.floats(min_value=0, max_value=1000,
+                                allow_nan=False), min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_property_events_fire_in_nondecreasing_time_order(times):
+    clock = SimClock()
+    fired = []
+    for when in times:
+        clock.call_at(when, lambda: fired.append(clock.now()))
+    clock.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(times)

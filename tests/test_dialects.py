@@ -1,0 +1,91 @@
+"""SQL dialect management: catalogs, overrides, DDL translation."""
+
+import pytest
+
+from repro.dialects import (StatementCatalog, dialect_names, translate_ddl)
+from repro.errors import ConfigurationError
+
+
+def test_known_dialects():
+    names = dialect_names()
+    for dbms in ("mysql", "postgres", "oracle", "derby", "inmem"):
+        assert dbms in names
+
+
+def test_translate_ddl_postgres_tinyint():
+    sql = "CREATE TABLE t (a TINYINT, b DATETIME, c DOUBLE)"
+    translated = translate_ddl(sql, "postgres")
+    assert "SMALLINT" in translated
+    assert "TIMESTAMP" in translated
+    assert "DOUBLE PRECISION" in translated
+    assert "TINYINT" not in translated
+
+
+def test_translate_ddl_oracle_varchar():
+    sql = "CREATE TABLE t (a VARCHAR(10), b BIGINT)"
+    translated = translate_ddl(sql, "oracle")
+    assert "VARCHAR2(10)" in translated
+    assert "NUMBER(19)" in translated
+
+
+def test_translate_ddl_case_insensitive():
+    assert "SMALLINT" in translate_ddl("a tinyint", "postgres")
+
+
+def test_translate_ddl_word_boundaries():
+    # Column names containing type substrings must survive.
+    sql = "CREATE TABLE t (mytinyintcol INT)"
+    assert translate_ddl(sql, "postgres") == sql
+
+
+def test_translate_ddl_inmem_is_identity():
+    sql = "CREATE TABLE t (a TINYINT)"
+    assert translate_ddl(sql, "inmem") == sql
+
+
+def test_translate_ddl_unknown_dialect():
+    with pytest.raises(ConfigurationError):
+        translate_ddl("SELECT 1", "sqlserver")
+
+
+def test_statement_catalog_canonical_and_override():
+    catalog = StatementCatalog("tpcc")
+    catalog.define("GetWarehouse",
+                   "SELECT w_tax FROM warehouse WHERE w_id = ?")
+    catalog.override("oracle", "GetWarehouse",
+                     "SELECT /*+ INDEX(warehouse) */ w_tax "
+                     "FROM warehouse WHERE w_id = ?")
+    assert "/*+" not in catalog.resolve("GetWarehouse")
+    assert "/*+" not in catalog.resolve("GetWarehouse", "mysql")
+    assert "/*+" in catalog.resolve("GetWarehouse", "oracle")
+    assert catalog.dialects_overridden("GetWarehouse") == ["oracle"]
+
+
+def test_statement_catalog_rejects_duplicates_and_unknowns():
+    catalog = StatementCatalog("x")
+    catalog.define("A", "SELECT 1")
+    with pytest.raises(ConfigurationError):
+        catalog.define("A", "SELECT 2")
+    with pytest.raises(ConfigurationError):
+        catalog.override("mysql", "B", "SELECT 2")
+    with pytest.raises(ConfigurationError):
+        catalog.override("sqlserver", "A", "SELECT 2")
+    with pytest.raises(ConfigurationError):
+        catalog.resolve("missing")
+
+
+def test_statement_names_sorted():
+    catalog = StatementCatalog("x")
+    catalog.define("B", "SELECT 2")
+    catalog.define("A", "SELECT 1")
+    assert catalog.statement_names() == ["A", "B"]
+
+
+def test_translated_ddl_still_parses_in_engine():
+    """Dialect output for the engine's own dialect must stay executable."""
+    from repro.engine import Database
+    db = Database()
+    sql = translate_ddl(
+        "CREATE TABLE t (a TINYINT NOT NULL, b DATETIME)", "derby")
+    db.execute(None, sql)
+    assert db.catalog.has("t")

@@ -1,0 +1,57 @@
+"""Documentation drift protection.
+
+Keeps DESIGN.md / EXPERIMENTS.md / README.md honest: every bench they name
+exists, and every bench that exists is documented.
+"""
+
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_files() -> set[str]:
+    return {p.name for p in (ROOT / "benchmarks").glob("bench_*.py")}
+
+
+def test_every_bench_documented_in_experiments():
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    missing = {name for name in bench_files() if name not in text}
+    assert not missing, f"benches missing from EXPERIMENTS.md: {missing}"
+
+
+def test_every_design_bench_target_exists():
+    text = (ROOT / "DESIGN.md").read_text()
+    referenced = set(re.findall(r"benchmarks/(bench_\w+\.py)", text))
+    assert referenced, "DESIGN.md experiment index references no benches"
+    ghosts = referenced - bench_files()
+    assert not ghosts, f"DESIGN.md references missing benches: {ghosts}"
+
+
+def test_every_bench_in_design_index():
+    text = (ROOT / "DESIGN.md").read_text()
+    missing = {name for name in bench_files() if name not in text}
+    assert not missing, f"benches missing from DESIGN.md: {missing}"
+
+
+def test_readme_examples_exist():
+    text = (ROOT / "README.md").read_text()
+    referenced = set(re.findall(r"examples/(\w+\.py)", text))
+    assert referenced
+    for name in referenced:
+        assert (ROOT / "examples" / name).exists(), name
+
+
+def test_readme_modules_exist():
+    text = (ROOT / "README.md").read_text()
+    for module_path in re.findall(r"`repro/([\w/]+\.py)`", text):
+        assert (ROOT / "src" / "repro" / module_path).exists(), module_path
+
+
+def test_deliverable_files_present():
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                 "pyproject.toml"):
+        assert (ROOT / name).exists(), name
+    examples = list((ROOT / "examples").glob("*.py"))
+    assert len(examples) >= 3
+    assert (ROOT / "examples" / "quickstart.py").exists()

@@ -1,0 +1,62 @@
+"""Responsiveness metric: rise time after a rate change."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core import (Phase, SimulatedExecutor, WorkloadConfiguration,
+                        WorkloadManager)
+from repro.core.results import LatencySample, Results
+from repro.engine import Database
+from repro.trace import TraceAnalyzer
+
+from ..conftest import MiniBenchmark
+
+
+def test_rise_time_on_synthetic_step():
+    results = Results()
+    for second in range(20):
+        rate = 10 if second < 10 else 50
+        for i in range(rate):
+            results.record(LatencySample("T", second + i / rate, 0.0, 0.001))
+    analyzer = TraceAnalyzer(results)
+    rise = analyzer.rise_time(change_at=10.0, target=50)
+    assert rise == pytest.approx(1.0)
+
+
+def test_rise_time_never_settles_returns_none():
+    results = Results()
+    for second in range(10):
+        for i in range(10):
+            results.record(LatencySample("T", second + i / 10, 0.0, 0.001))
+    analyzer = TraceAnalyzer(results)
+    assert analyzer.rise_time(change_at=0.0, target=100, horizon=8) is None
+
+
+def test_rise_time_to_zero_target():
+    results = Results()
+    for i in range(10):
+        results.record(LatencySample("T", i / 10, 0.0, 0.001))
+    for i in range(3):  # trailing stragglers in second 1
+        results.record(LatencySample("T", 1 + i / 10, 0.0, 0.001))
+    analyzer = TraceAnalyzer(results)
+    rise = analyzer.rise_time(change_at=1.0, target=0, horizon=5)
+    assert rise == pytest.approx(2.0)
+
+
+def test_rise_time_measured_on_simulated_run(db):
+    bench = MiniBenchmark(db, seed=42)
+    bench.load()
+    clock = SimClock()
+    cfg = WorkloadConfiguration(
+        benchmark="mini", workers=8, seed=1,
+        phases=[Phase(duration=10, rate=20), Phase(duration=10, rate=200)])
+    manager = WorkloadManager(bench, cfg, clock=clock)
+    executor = SimulatedExecutor(db, "oracle", clock)
+    executor.add_workload(manager)
+    executor.run()
+    analyzer = TraceAnalyzer(manager.results)
+    rise = analyzer.rise_time(change_at=10.0, target=200)
+    # The queue-based design reaches the new target within the first
+    # full second — the responsiveness the game's jumps rely on.
+    assert rise is not None
+    assert rise <= 2.0

@@ -1,0 +1,33 @@
+"""Correctness tooling for the testbed itself.
+
+The paper's headline claim — delivered throughput never exceeds the
+requested rate (§2.2) — is only as credible as the harness that measures
+it.  This package verifies the harness:
+
+* a repo-aware **lint framework** (:mod:`~repro.analysis.driver`,
+  :mod:`~repro.analysis.rules`) with rules that enforce the conventions
+  the executors depend on: all time through the :class:`~repro.clock.Clock`
+  abstraction, all randomness through seeded RNGs, locks released on every
+  path, SQL literals that actually parse, benchmark packages registered
+  consistently, and no swallowed errors in hot paths.  Exposed as the
+  ``repro lint`` CLI subcommand.
+* a **runtime lock-order/race watchdog** (:mod:`~repro.analysis.lockwatch`)
+  — a miniature thread sanitizer that instruments ``threading`` primitives
+  and the engine's :class:`~repro.engine.locks.LockManager`, records the
+  cross-thread lock-acquisition-order graph, and flags lock-order
+  inversions and guarded-field access without the guarding lock held.
+  Enabled test-wide with ``pytest --lockwatch``.
+"""
+
+from .diagnostics import Diagnostic, SuppressionIndex
+from .driver import FileContext, Linter, lint_paths
+from .lockwatch import (GuardedMapping, GuardViolation, LockOrderViolation,
+                        LockWatch)
+from .reporters import render_json, render_text
+from .rules import RULES, Rule, all_rules, register
+
+__all__ = [
+    "Diagnostic", "SuppressionIndex", "FileContext", "Linter", "lint_paths",
+    "render_json", "render_text", "RULES", "Rule", "all_rules", "register",
+    "LockWatch", "LockOrderViolation", "GuardViolation", "GuardedMapping",
+]

@@ -1,0 +1,66 @@
+"""Per-file context handed to every lint rule."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Iterator, Optional
+
+from .diagnostics import SEVERITY_ERROR, Diagnostic
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may need about the file under analysis.
+
+    ``rel`` is the path relative to the lint root (posix separators), which
+    is what rules match scope heuristics against — e.g. RP004 only fires
+    under a ``benchmarks/`` directory.  For files outside the root (golden
+    fixtures in temp dirs) ``rel`` falls back to the absolute path.
+    """
+
+    path: Path
+    rel: str
+    tree: ast.Module
+    lines: list[str]
+    root: Optional[Path] = None
+
+    @property
+    def filename(self) -> str:
+        return self.path.name
+
+    def in_directory(self, name: str) -> bool:
+        """True when ``name`` is one of the path's directory components."""
+        return name in PurePosixPath(self.rel).parts[:-1]
+
+    def diag(self, node: ast.AST, rule: str, message: str,
+             severity: str = SEVERITY_ERROR) -> Diagnostic:
+        return Diagnostic(
+            path=str(self.path), line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1, rule=rule,
+            message=message, severity=severity)
+
+    def source_segment(self, node: ast.AST) -> str:
+        return ast.get_source_segment("\n".join(self.lines), node) or ""
+
+
+def iter_statement_lists(tree: ast.Module) -> Iterator[list[ast.stmt]]:
+    """Yield every statement list (module body, function bodies, etc.).
+
+    Used by rules that need sibling relationships — e.g. "is the statement
+    after this ``acquire()`` a ``try/finally``?" — which ``ast.walk`` alone
+    cannot answer.
+    """
+    yield tree.body
+    for node in ast.walk(tree):
+        for attr in ("body", "orelse", "finalbody", "handlers"):
+            value = getattr(node, attr, None)
+            if not value:
+                continue
+            if attr == "handlers":
+                for handler in value:
+                    yield handler.body
+            elif isinstance(value, list) and value and \
+                    isinstance(value[0], ast.stmt) and node is not tree:
+                yield value

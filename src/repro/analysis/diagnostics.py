@@ -1,0 +1,97 @@
+"""Diagnostic records and in-source suppression comments.
+
+A suppression is an ordinary comment on the flagged line::
+
+    deadline = time.time() + 5     # repro: noqa[RP001] migration pending
+    lock.acquire()                 # repro: noqa
+
+``# repro: noqa`` silences every rule on that line; ``# repro:
+noqa[RP001,RP003]`` silences only the listed rule ids.  A file-level
+escape hatch, ``# repro: noqa-file[RP004]``, placed anywhere in the first
+ten lines, silences a rule for the whole file — intended for generated
+code only.  Text after the bracket is a free-form justification; review
+expects one (see docs/lint-rules.md).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_LINE_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Z0-9,\s]+)\])?")
+_FILE_RE = re.compile(r"#\s*repro:\s*noqa-file\[([A-Z0-9,\s]+)\]")
+_FILE_SCOPE_LINES = 10
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a rule fired at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: str = SEVERITY_ERROR
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.message}")
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path, "line": self.line, "col": self.col,
+            "rule": self.rule, "message": self.message,
+            "severity": self.severity,
+        }
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-file map of suppressed rule ids, built from the source text."""
+
+    #: line number -> rule ids silenced there (empty set = all rules).
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: rule ids silenced for the entire file.
+    file_wide: set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_source(cls, lines: list[str]) -> "SuppressionIndex":
+        index = cls()
+        for lineno, text in enumerate(lines, start=1):
+            if "#" not in text:
+                continue
+            match = _LINE_RE.search(text)
+            if match:
+                rules = _parse_rule_list(match.group(1))
+                existing = index.by_line.get(lineno)
+                if existing is None:
+                    index.by_line[lineno] = rules
+                elif rules and existing:
+                    existing.update(rules)
+                else:
+                    index.by_line[lineno] = set()
+            if lineno <= _FILE_SCOPE_LINES:
+                file_match = _FILE_RE.search(text)
+                if file_match:
+                    index.file_wide.update(
+                        _parse_rule_list(file_match.group(1)))
+        return index
+
+    def suppresses(self, diagnostic: Diagnostic) -> bool:
+        if diagnostic.rule in self.file_wide:
+            return True
+        rules = self.by_line.get(diagnostic.line)
+        if rules is None:
+            return False
+        return not rules or diagnostic.rule in rules
+
+
+def _parse_rule_list(raw: str | None) -> set[str]:
+    """``"RP001, RP003"`` -> ``{"RP001", "RP003"}``; None -> all rules."""
+    if raw is None:
+        return set()
+    return {part.strip() for part in raw.split(",") if part.strip()}

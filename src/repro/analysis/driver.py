@@ -1,0 +1,106 @@
+"""Lint driver: file discovery, parsing, rule execution, suppression.
+
+The driver is deliberately dependency-free (stdlib ``ast`` only) so it
+can run in CI before the package is even importable; only RP004 reaches
+into the engine's SQL parser, lazily.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from .context import FileContext
+from .diagnostics import Diagnostic, SuppressionIndex
+from .rules import RULES, Rule, all_rules
+
+_SKIP_DIRS = {".git", "__pycache__", ".venv", "node_modules", "build",
+              "dist", ".mypy_cache", ".ruff_cache"}
+
+
+class Linter:
+    """Runs a set of rules over files and trees."""
+
+    def __init__(self, root: Optional[Path] = None,
+                 select: Optional[Iterable[str]] = None,
+                 ignore: Optional[Iterable[str]] = None) -> None:
+        self.root = (root or Path.cwd()).resolve()
+        chosen: list[Rule] = []
+        select_set = {s.upper() for s in select} if select else None
+        ignore_set = {s.upper() for s in ignore} if ignore else set()
+        unknown = (select_set or set()) | ignore_set
+        unknown -= set(RULES)
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        for rule in all_rules():
+            if select_set is not None and rule.rule_id not in select_set:
+                continue
+            if rule.rule_id in ignore_set:
+                continue
+            chosen.append(rule)
+        self.rules = chosen
+
+    # -- discovery ---------------------------------------------------------
+
+    def discover(self, paths: Sequence[Path]) -> list[Path]:
+        files: list[Path] = []
+        for path in paths:
+            path = Path(path)
+            if path.is_dir():
+                for candidate in sorted(path.rglob("*.py")):
+                    if not _SKIP_DIRS.intersection(candidate.parts):
+                        files.append(candidate)
+            elif path.suffix == ".py":
+                files.append(path)
+        return files
+
+    # -- linting -----------------------------------------------------------
+
+    def lint_paths(self, paths: Sequence[Path]) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for file_path in self.discover(paths):
+            diagnostics.extend(self.lint_file(file_path))
+        return sorted(diagnostics)
+
+    def lint_file(self, path: Path) -> list[Diagnostic]:
+        path = Path(path).resolve()
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            return [Diagnostic(path=str(path), line=1, col=1, rule="RP000",
+                               message=f"cannot read file: {exc}")]
+        return self.lint_source(source, path)
+
+    def lint_source(self, source: str, path: Path) -> list[Diagnostic]:
+        path = Path(path)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return [Diagnostic(
+                path=str(path), line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1, rule="RP000",
+                message=f"syntax error: {exc.msg}")]
+        lines = source.splitlines()
+        try:
+            rel = path.resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        ctx = FileContext(path=path, rel=rel, tree=tree, lines=lines,
+                          root=self.root)
+        suppressions = SuppressionIndex.from_source(lines)
+        found: list[Diagnostic] = []
+        for rule in self.rules:
+            for diagnostic in rule.check(ctx):
+                if not suppressions.suppresses(diagnostic):
+                    found.append(diagnostic)
+        return sorted(found)
+
+
+def lint_paths(paths: Sequence[Path], root: Optional[Path] = None,
+               select: Optional[Iterable[str]] = None,
+               ignore: Optional[Iterable[str]] = None) -> list[Diagnostic]:
+    """Convenience wrapper: lint ``paths`` with the default rule set."""
+    return Linter(root=root, select=select,
+                  ignore=ignore).lint_paths([Path(p) for p in paths])

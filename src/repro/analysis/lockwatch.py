@@ -1,0 +1,416 @@
+"""Runtime lock-order / race watchdog — a miniature thread sanitizer.
+
+Static rules can prove a lock is *released*; they cannot prove two locks
+are always taken in the same order, or that a shared dict is only touched
+with its guard held.  :class:`LockWatch` checks both at runtime:
+
+* :meth:`LockWatch.installed` patches the ``threading.Lock`` /
+  ``threading.RLock`` factories (``Condition`` picks the patch up through
+  its default lock) so every primitive created inside the block is a
+  :class:`_WatchedLock` proxy.  Each acquisition adds *held → acquired*
+  edges to a global lock-order graph; an acquisition that closes a cycle
+  in that graph is a **lock-order inversion** — two threads that take the
+  same pair of locks in opposite orders can deadlock, even if this run
+  happened not to.  Violations are recorded (never raised mid-acquire)
+  and surfaced by :meth:`assert_clean`, which the ``--lockwatch`` pytest
+  flag calls after every test.
+* :class:`GuardedMapping` wraps a dict-like field so that every access
+  without the guarding lock held by the current thread is recorded as a
+  :class:`GuardViolation`.  :meth:`LockWatch.guard_lockmanager` applies
+  it to the four ``LockManager`` fields guarded by its mutex.
+* :meth:`LockWatch.watch_lockmanager` instruments the engine's
+  :class:`~repro.engine.locks.LockManager` to record the *resource-level*
+  acquisition-order graph across transactions.  Resource-order cycles are
+  expected there (the manager detects and aborts real deadlocks by
+  design), so they are reported via :meth:`resource_inversions` rather
+  than failed.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, MutableMapping, Optional
+
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+
+def _call_site() -> str:
+    """``file:line`` of the nearest caller outside this module.
+
+    Walks raw frames via ``sys._getframe`` instead of
+    ``traceback.extract_stack`` — the latter loads source lines and is
+    far too slow for a hook that can run on every lock acquisition.
+    """
+    frame = sys._getframe(1)
+    while frame is not None and \
+            frame.f_code.co_filename.endswith("lockwatch.py"):
+        frame = frame.f_back
+    if frame is None:
+        return "<unknown>"
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+
+def _thread_name() -> str:
+    """Current thread's name without ``threading.current_thread()``.
+
+    ``current_thread()`` builds a ``_DummyThread`` — which allocates an
+    ``Event`` and therefore a (patched) lock — for threads not yet in
+    ``threading._active``.  A starting thread signals its ``_started``
+    event *before* registering itself, so calling it from the
+    acquisition hooks recurses forever.  A plain dict lookup is safe.
+    """
+    ident = threading.get_ident()
+    thread = threading._active.get(ident)
+    return thread.name if thread is not None else f"thread-{ident}"
+
+
+@dataclass(frozen=True)
+class LockOrderViolation:
+    """Two locks observed in both A→B and B→A order across threads."""
+
+    first: str          # lock acquired first at the violating site
+    second: str         # lock whose acquisition closed the cycle
+    thread: str         # thread that closed the cycle
+    site: str           # file:line of the violating acquire
+    reverse_site: str   # file:line where the opposite order was observed
+
+    def format(self) -> str:
+        return (f"lock-order inversion: {self.second!r} acquired while "
+                f"holding {self.first!r} (thread {self.thread}, {self.site})"
+                f" but the opposite order was observed at "
+                f"{self.reverse_site}")
+
+
+@dataclass(frozen=True)
+class GuardViolation:
+    """A guarded field was accessed without its guard lock held."""
+
+    guard: str
+    target: str
+    operation: str
+    thread: str
+    site: str
+
+    def format(self) -> str:
+        return (f"guarded-field violation: {self.operation} on "
+                f"{self.target!r} without {self.guard!r} held "
+                f"(thread {self.thread}, {self.site})")
+
+
+@dataclass
+class _Edge:
+    count: int = 0
+    first_site: str = ""
+    first_thread: str = ""
+
+
+class _WatchedLock:
+    """Proxy over a threading primitive reporting to a :class:`LockWatch`.
+
+    Implements the full lock protocol plus the private
+    ``_release_save`` / ``_acquire_restore`` / ``_is_owned`` hooks
+    ``threading.Condition`` probes for, so wait() keeps the watch's
+    held-set accurate for both Lock and RLock.
+    """
+
+    def __init__(self, watch: "LockWatch", inner, token: int,
+                 name: str) -> None:
+        self._watch = watch
+        self._inner = inner
+        self._token = token
+        self._name = name
+
+    # -- lock protocol ---------------------------------------------------
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._watch._on_acquired(self._token)
+        return acquired
+
+    def release(self) -> None:
+        self._watch._on_released(self._token)
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __repr__(self) -> str:
+        return f"<watched {self._name} over {self._inner!r}>"
+
+    # -- Condition compatibility ------------------------------------------
+
+    def _release_save(self) -> object:
+        self._watch._on_released(self._token, completely=True)
+        if hasattr(self._inner, "_release_save"):
+            return self._inner._release_save()
+        self._inner.release()
+        return None
+
+    def _acquire_restore(self, state) -> None:
+        if hasattr(self._inner, "_acquire_restore"):
+            self._inner._acquire_restore(state)
+        else:
+            self._inner.acquire()
+        self._watch._on_acquired(self._token)
+
+    def _is_owned(self) -> bool:
+        if hasattr(self._inner, "_is_owned"):
+            return self._inner._is_owned()
+        return self._watch.holds_current(self)
+
+
+class LockWatch:
+    """Records lock acquisition order and guard discipline at runtime."""
+
+    def __init__(self) -> None:
+        self._internal = _REAL_LOCK()
+        self._tls = threading.local()
+        self._tokens = iter(range(1, 1 << 62))
+        self._names: dict[int, str] = {}
+        # lock-order graph: token -> token -> edge metadata
+        self._graph: dict[int, dict[int, _Edge]] = {}
+        # resource-order graph from LockManager instrumentation
+        self._resources: dict[Hashable, dict[Hashable, _Edge]] = {}
+        self.violations: list[LockOrderViolation] = []
+        self.guard_violations: list[GuardViolation] = []
+
+    # -- wrapping ----------------------------------------------------------
+
+    def wrap_lock(self, inner=None, name: Optional[str] = None,
+                  kind: str = "Lock") -> _WatchedLock:
+        """Wrap an existing primitive (or create one) under the watch."""
+        if inner is None:
+            inner = _REAL_LOCK() if kind == "Lock" else _REAL_RLOCK()
+        with self._internal:
+            token = next(self._tokens)
+        label = name or f"{kind}#{token}({_call_site()})"
+        self._names[token] = label
+        return _WatchedLock(self, inner, token, label)
+
+    @contextmanager
+    def installed(self) -> Iterator["LockWatch"]:
+        """Patch the ``threading`` factories for the duration of a block."""
+        original_lock, original_rlock = threading.Lock, threading.RLock
+        threading.Lock = lambda: self.wrap_lock(original_lock(),
+                                                kind="Lock")
+        threading.RLock = lambda: self.wrap_lock(original_rlock(),
+                                                 kind="RLock")
+        try:
+            yield self
+        finally:
+            threading.Lock = original_lock
+            threading.RLock = original_rlock
+
+    # -- acquisition tracking ----------------------------------------------
+
+    def _held(self) -> list[list]:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = []
+            self._tls.held = held
+        return held
+
+    def _on_acquired(self, token: int) -> None:
+        held = self._held()
+        for entry in held:
+            if entry[0] == token:  # reentrant re-acquire: no new edges
+                entry[1] += 1
+                return
+        if held:
+            with self._internal:
+                site: Optional[str] = None
+                for prior_token, _count in held:
+                    site = self._add_edge(prior_token, token, site)
+        held.append([token, 1])
+
+    def _on_released(self, token: int, completely: bool = False) -> None:
+        held = self._held()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index][0] == token:
+                held[index][1] -= 1
+                if completely or held[index][1] <= 0:
+                    del held[index]
+                return
+        # Release of a lock this thread never acquired (handed over from
+        # another thread); out of scope for ordering analysis.
+
+    def _add_edge(self, before: int, after: int,
+                  site: Optional[str]) -> Optional[str]:
+        """Record *before held while acquiring after*; detect cycles.
+
+        The call site is expensive to compute, so it is resolved only
+        the first time a given edge appears and threaded back to the
+        caller for reuse across the held set.
+        """
+        edges = self._graph.setdefault(before, {})
+        edge = edges.get(after)
+        if edge is not None:
+            edge.count += 1
+            return site
+        if site is None:
+            site = _call_site()
+        thread = _thread_name()
+        reverse = self._find_path(after, before)
+        edges[after] = _Edge(count=1, first_site=site, first_thread=thread)
+        if reverse is not None:
+            self.violations.append(LockOrderViolation(
+                first=self._names.get(before, str(before)),
+                second=self._names.get(after, str(after)),
+                thread=thread, site=site, reverse_site=reverse))
+        return site
+
+    def _find_path(self, start: int, goal: int) -> Optional[str]:
+        """First-site of the initial hop of a path start ⇝ goal, if any."""
+        stack = [(start, None)]
+        seen: set[int] = set()
+        while stack:
+            node, first_hop = stack.pop()
+            if node == goal and first_hop is not None:
+                return first_hop
+            if node in seen:
+                continue
+            seen.add(node)
+            for succ, edge in self._graph.get(node, {}).items():
+                stack.append((succ, first_hop or edge.first_site))
+        return None
+
+    def holds_current(self, lock: "_WatchedLock") -> bool:
+        """True when the calling thread holds ``lock``."""
+        return any(entry[0] == lock._token for entry in self._held())
+
+    # -- guarded fields ------------------------------------------------------
+
+    def guard_mapping(self, data: MutableMapping, guard: "_WatchedLock",
+                      name: str) -> "GuardedMapping":
+        return GuardedMapping(self, data, guard, name)
+
+    def guard_lockmanager(self, manager) -> None:
+        """Guard the LockManager fields its mutex protects.
+
+        Requires the manager's ``_mutex`` to be a watched lock, i.e. the
+        manager must have been constructed inside :meth:`installed`.
+        """
+        mutex = manager._mutex
+        if not isinstance(mutex, _WatchedLock):
+            raise TypeError(
+                "LockManager was created outside LockWatch.installed(); "
+                "its mutex is not instrumented")
+        for attr in ("_entries", "_held", "_waits_for", "_txn_thread"):
+            setattr(manager, attr, self.guard_mapping(
+                getattr(manager, attr), mutex, f"LockManager.{attr}"))
+
+    # -- LockManager resource ordering ----------------------------------------
+
+    def watch_lockmanager(self, manager) -> None:
+        """Record the cross-transaction resource-acquisition-order graph."""
+        original = manager.acquire
+
+        def acquire(txn: object, resource: Hashable, mode: str,
+                    timeout: Optional[float] = None) -> bool:
+            already = manager.held_by(txn)
+            result = original(txn, resource, mode, timeout)
+            site: Optional[str] = None
+            with self._internal:
+                for prior in already:
+                    edges = self._resources.setdefault(prior, {})
+                    edge = edges.get(resource)
+                    if edge is None:
+                        if site is None:
+                            site = _call_site()
+                        edges[resource] = _Edge(count=1, first_site=site,
+                                                first_thread=_thread_name())
+                    else:
+                        edge.count += 1
+            return result
+
+        manager.acquire = acquire
+
+    def resource_order_graph(self) -> dict[Hashable, dict[Hashable, int]]:
+        with self._internal:
+            return {before: {after: edge.count
+                             for after, edge in edges.items()}
+                    for before, edges in self._resources.items()}
+
+    def resource_inversions(self) -> list[tuple[Hashable, Hashable]]:
+        """Resource pairs observed in both orders (deadlock candidates)."""
+        pairs = []
+        with self._internal:
+            for before, edges in self._resources.items():
+                for after in edges:
+                    if before in self._resources.get(after, {}):
+                        pair = (before, after)
+                        if (after, before) not in pairs:
+                            pairs.append(pair)
+        return pairs
+
+    # -- reporting -----------------------------------------------------------
+
+    def order_graph(self) -> dict[str, dict[str, int]]:
+        """The observed lock-order graph with human-readable labels."""
+        with self._internal:
+            return {
+                self._names.get(before, str(before)): {
+                    self._names.get(after, str(after)): edge.count
+                    for after, edge in edges.items()}
+                for before, edges in self._graph.items()}
+
+    def assert_clean(self) -> None:
+        problems = [v.format() for v in self.violations]
+        problems += [v.format() for v in self.guard_violations]
+        if problems:
+            raise AssertionError(
+                "lockwatch detected concurrency violations:\n  "
+                + "\n  ".join(problems))
+
+
+class GuardedMapping(MutableMapping):
+    """Dict wrapper that reports access without the guard lock held."""
+
+    def __init__(self, watch: LockWatch, data: MutableMapping,
+                 guard: _WatchedLock, name: str) -> None:
+        self._watch = watch
+        self._data = data
+        self._guard = guard
+        self._name = name
+
+    def _check(self, operation: str) -> None:
+        if not self._watch.holds_current(self._guard):
+            self._watch.guard_violations.append(GuardViolation(
+                guard=self._guard._name, target=self._name,
+                operation=operation,
+                thread=_thread_name(),
+                site=_call_site()))
+
+    def __getitem__(self, key: object) -> object:
+        self._check("read")
+        return self._data[key]
+
+    def __setitem__(self, key, value) -> None:
+        self._check("write")
+        self._data[key] = value
+
+    def __delitem__(self, key) -> None:
+        self._check("delete")
+        del self._data[key]
+
+    def __iter__(self) -> Iterator[object]:
+        self._check("iterate")
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        self._check("len")
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"<guarded {self._name}: {self._data!r}>"

@@ -1,0 +1,43 @@
+"""Render diagnostics as human-readable text or machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from .diagnostics import Diagnostic
+from .rules import RULES
+
+
+def render_text(diagnostics: Sequence[Diagnostic],
+                statistics: bool = False) -> str:
+    lines = [d.format() for d in diagnostics]
+    if statistics and diagnostics:
+        lines.append("")
+        counts = Counter(d.rule for d in diagnostics)
+        for rule_id, count in sorted(counts.items()):
+            rule = RULES.get(rule_id)
+            title = f" ({rule.title})" if rule else ""
+            lines.append(f"{rule_id}{title}: {count}")
+    if diagnostics:
+        lines.append(f"found {len(diagnostics)} problem"
+                     f"{'s' if len(diagnostics) != 1 else ''}")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+    return json.dumps({
+        "diagnostics": [d.to_dict() for d in diagnostics],
+        "count": len(diagnostics),
+    }, indent=2)
+
+
+def render_explain() -> str:
+    """The rule table, for ``repro lint --explain``."""
+    lines = []
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        lines.append(f"{rule_id}  {rule.title}")
+        lines.append(f"       {rule.rationale}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Rule base class and registry.
+
+A rule is a class with a ``rule_id`` (``RPnnn``), a one-line ``title``, a
+``rationale`` (both rendered into docs/lint-rules.md and ``repro lint
+--explain``), and a ``check(ctx)`` generator yielding
+:class:`~repro.analysis.diagnostics.Diagnostic` objects.  Registration is
+by decorator so dropping a new module into this package is all it takes
+to ship a rule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Type
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+
+RULES: dict[str, Type["Rule"]] = {}
+
+
+class Rule:
+    """Base class for AST lint rules."""
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if cls.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    RULES[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in id order."""
+    return [RULES[rule_id]() for rule_id in sorted(RULES)]
+
+
+# Importing the modules registers the rules.
+from . import (lockdiscipline, registration, rng,  # noqa: E402,F401
+               sqlvalidity, swallowed, wallclock)
+
+__all__ = ["Rule", "RULES", "register", "all_rules"]

@@ -1,0 +1,90 @@
+"""RP002 — lock discipline.
+
+A bare ``something_lock.acquire()`` statement that is not immediately
+followed by a ``try/finally`` releasing the lock leaks it on any
+exception between acquire and release, deadlocking every other thread
+that touches the same primitive.  The reliable idioms are ``with lock:``
+or ``lock.acquire()`` directly followed by ``try: ... finally:
+lock.release()``.
+
+The rule is heuristic about what "looks like" a threading primitive: the
+receiver's final name component must contain ``lock``/``mutex``/``cond``/
+``sem``.  The engine's :class:`~repro.engine.locks.LockManager` is
+excluded — its resource locks are released by ``release_all`` at
+commit/abort, a different (strict-2PL) protocol checked at runtime by
+lockwatch instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..context import FileContext, iter_statement_lists
+from ..diagnostics import Diagnostic
+from . import Rule, register
+
+_PRIMITIVE_RE = re.compile(r"lock|mutex|cond|sem", re.IGNORECASE)
+_EXCLUDED = {"lock_manager", "lockmanager", "locks"}
+
+
+def _receiver_name(func: ast.Attribute) -> str:
+    value = func.value
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Name):
+        return value.id
+    return ""
+
+
+def _is_primitive_acquire(stmt: ast.stmt) -> ast.Call | None:
+    if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+        return None
+    func = stmt.value.func
+    if not isinstance(func, ast.Attribute) or func.attr != "acquire":
+        return None
+    name = _receiver_name(func)
+    if name.lower().strip("_") in _EXCLUDED:
+        return None
+    if not _PRIMITIVE_RE.search(name):
+        return None
+    return stmt.value
+
+
+def _releases_in_finally(try_stmt: ast.Try) -> bool:
+    for node in try_stmt.finalbody:
+        for sub in ast.walk(node):
+            if (isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "release"):
+                return True
+    return False
+
+
+@register
+class LockDisciplineRule(Rule):
+    rule_id = "RP002"
+    title = "lock discipline"
+    rationale = (
+        "acquire() on a threading primitive without `with` or an "
+        "immediately following try/finally release leaks the lock on any "
+        "exception, hanging every other thread.")
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for statements in iter_statement_lists(ctx.tree):
+            for index, stmt in enumerate(statements):
+                call = _is_primitive_acquire(stmt)
+                if call is None:
+                    continue
+                following = statements[index + 1] if \
+                    index + 1 < len(statements) else None
+                if (isinstance(following, ast.Try)
+                        and following.finalbody
+                        and _releases_in_finally(following)):
+                    continue
+                yield ctx.diag(
+                    call, self.rule_id,
+                    "acquire() without `with` or try/finally release; the "
+                    "lock leaks if anything between acquire and release "
+                    "raises")

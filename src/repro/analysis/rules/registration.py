@@ -1,0 +1,254 @@
+"""RP005 — benchmark registration consistency.
+
+Benchmarks are discovered through two conventions that nothing else
+enforces: the package must be imported and listed in ``REGISTRY`` inside
+``benchmarks/__init__.py``, and the benchmark class must bind a
+non-empty ``procedures`` tuple whose entries carry sane default weights.
+A package that misses either step silently disappears from ``repro
+list`` / ``create_benchmark`` — this rule makes that a lint error.
+
+Checks, in order:
+
+* ``benchmarks/__init__.py``: every sibling package directory is imported
+  (``from .pkg import Cls``) and every imported benchmark class appears
+  in the ``REGISTRY`` construction.
+* every class deriving from ``BenchmarkModule``: ``procedures`` is
+  present and non-empty; tuple entries are unique and resolvable (defined
+  or imported in the module, following the common ``from .procedures
+  import PROCEDURES`` indirection into the sibling file); resolvable
+  ``default_weight`` values are non-negative and not all zero.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, Optional
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from . import Rule, register
+
+_BASE_CLASS = "BenchmarkModule"
+
+
+def _base_names(node: ast.ClassDef) -> set[str]:
+    names = set()
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _class_assign(node: ast.ClassDef, name: str) -> Optional[ast.Assign]:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return stmt
+    return None
+
+
+def _module_names(tree: ast.Module) -> dict[str, ast.AST]:
+    """Top-level bindings: classes, assignments, imported names."""
+    bound: dict[str, ast.AST] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            bound[stmt.name] = stmt
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    bound[target.id] = stmt
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                bound[alias.asname or alias.name] = stmt
+    return bound
+
+
+def _default_weight(cls: ast.ClassDef) -> Optional[float]:
+    assign = _class_assign(cls, "default_weight")
+    if assign is None:
+        return 0.0  # Procedure's class default
+    value = assign.value
+    if isinstance(value, ast.Constant) and \
+            isinstance(value.value, (int, float)):
+        return float(value.value)
+    if isinstance(value, ast.UnaryOp) and \
+            isinstance(value.op, ast.USub) and \
+            isinstance(value.operand, ast.Constant) and \
+            isinstance(value.operand.value, (int, float)):
+        return -float(value.operand.value)
+    return None
+
+
+def _import_source(tree: ast.Module, name: str) -> Optional[str]:
+    """Relative module a top-level ``from .mod import name`` came from."""
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ImportFrom) and stmt.level == 1 \
+                and stmt.module:
+            for alias in stmt.names:
+                if (alias.asname or alias.name) == name:
+                    return stmt.module
+    return None
+
+
+@register
+class RegistrationRule(Rule):
+    rule_id = "RP005"
+    title = "benchmark registration"
+    rationale = (
+        "A benchmark package that is not imported into REGISTRY, or whose "
+        "procedures tuple is empty/duplicated/mis-weighted, silently "
+        "disappears from the workload mixture instead of failing loudly.")
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.filename == "__init__.py" and \
+                Path(ctx.rel).parent.name == "benchmarks":
+            yield from self._check_registry(ctx)
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.ClassDef) and \
+                    _BASE_CLASS in _base_names(stmt):
+                yield from self._check_benchmark_class(ctx, stmt)
+
+    # -- registry file ---------------------------------------------------
+
+    def _check_registry(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        imported: dict[str, ast.ImportFrom] = {}  # class name -> import
+        imported_pkgs: set[str] = set()
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.ImportFrom) and stmt.level == 1 \
+                    and stmt.module:
+                imported_pkgs.add(stmt.module)
+                for alias in stmt.names:
+                    imported[alias.asname or alias.name] = stmt
+        registry_value = _module_assign_value(ctx.tree, "REGISTRY")
+        registry_names: set[str] = set()
+        if registry_value is not None:
+            for node in ast.walk(registry_value):
+                if isinstance(node, ast.Name):
+                    registry_names.add(node.id)
+        for entry in sorted(ctx.path.parent.iterdir()):
+            if entry.is_dir() and (entry / "__init__.py").exists() and \
+                    entry.name not in imported_pkgs:
+                yield ctx.diag(
+                    ctx.tree, self.rule_id,
+                    f"benchmark package {entry.name!r} exists but is not "
+                    "imported into the registry module")
+        for name, stmt in imported.items():
+            if name.endswith("Benchmark") and name not in registry_names:
+                yield ctx.diag(
+                    stmt, self.rule_id,
+                    f"benchmark class {name!r} is imported but never "
+                    "listed in REGISTRY")
+
+    # -- benchmark classes -----------------------------------------------
+
+    def _check_benchmark_class(self, ctx: FileContext,
+                               cls: ast.ClassDef) -> Iterator[Diagnostic]:
+        assign = _class_assign(cls, "procedures")
+        if assign is None:
+            # The base class default () is fine for abstract helpers that
+            # are themselves subclassed; only flag concrete classes that
+            # declare a registry name.
+            name_assign = _class_assign(cls, "name")
+            if name_assign is not None:
+                yield ctx.diag(
+                    cls, self.rule_id,
+                    f"benchmark class {cls.name!r} declares a registry "
+                    "name but no procedures")
+            return
+        value = assign.value
+        tree_names = _module_names(ctx.tree)
+        if isinstance(value, ast.Name):
+            resolved = self._resolve_indirect(ctx, value.id, tree_names)
+            if resolved is None:
+                return  # dynamically built; outside static reach
+            value, tree_names = resolved
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            return
+        if not value.elts:
+            yield ctx.diag(
+                assign, self.rule_id,
+                f"benchmark class {cls.name!r} registers an empty "
+                "procedures tuple")
+            return
+        seen: set[str] = set()
+        weights: list[float] = []
+        unresolved_weight = False
+        for element in value.elts:
+            if not isinstance(element, ast.Name):
+                unresolved_weight = True
+                continue
+            if element.id in seen:
+                yield ctx.diag(
+                    element, self.rule_id,
+                    f"procedure {element.id!r} listed twice in "
+                    f"{cls.name!r}.procedures")
+            seen.add(element.id)
+            binding = tree_names.get(element.id)
+            if binding is None:
+                yield ctx.diag(
+                    element, self.rule_id,
+                    f"procedure {element.id!r} in {cls.name!r}.procedures "
+                    "is neither defined nor imported in its module")
+                continue
+            if isinstance(binding, ast.ClassDef):
+                weight = _default_weight(binding)
+                if weight is None:
+                    unresolved_weight = True
+                elif weight < 0:
+                    yield ctx.diag(
+                        binding, self.rule_id,
+                        f"procedure {element.id!r} has a negative "
+                        f"default_weight ({weight})")
+                else:
+                    weights.append(weight)
+            else:
+                unresolved_weight = True
+        if weights and not unresolved_weight and sum(weights) == 0 \
+                and len(weights) > 1:
+            # All-zero is only suspicious when explicit weights exist
+            # elsewhere; the base class falls back to a uniform mixture,
+            # so report as a consistency nudge rather than staying silent.
+            yield ctx.diag(
+                assign, self.rule_id,
+                f"default weight vector of {cls.name!r} sums to 0; the "
+                "mixture silently falls back to uniform")
+
+    def _resolve_indirect(self, ctx: FileContext, name: str,
+                          tree_names: dict[str, ast.AST]):
+        """Follow ``procedures = PROCEDURES`` through a local or sibling
+        module assignment; returns (value node, module bindings)."""
+        binding = tree_names.get(name)
+        if isinstance(binding, ast.Assign):
+            return binding.value, tree_names
+        source = _import_source(ctx.tree, name)
+        if source is None:
+            return None
+        sibling = ctx.path.parent / f"{source}.py"
+        if not sibling.exists():
+            return None
+        try:
+            tree = ast.parse(sibling.read_text(encoding="utf-8"))
+        except SyntaxError:
+            return None
+        sibling_names = _module_names(tree)
+        binding = sibling_names.get(name)
+        if isinstance(binding, ast.Assign):
+            return binding.value, sibling_names
+        return None
+
+
+def _module_assign_value(tree: ast.Module, name: str) -> Optional[ast.expr]:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and \
+                isinstance(stmt.target, ast.Name) and \
+                stmt.target.id == name:
+            return stmt.value
+    return None

@@ -1,0 +1,57 @@
+"""RP003 — RNG discipline.
+
+Every random draw in the testbed must come from an explicitly seeded
+``random.Random`` instance created by :func:`repro.rand.make_rng`, so
+identical configurations replay identical workloads (loader data,
+transaction mixtures, arrival jitter).  Calling module-level ``random``
+functions — or instantiating ``random.Random()`` without a seed — pulls
+entropy from interpreter state and silently breaks reproducibility.
+
+``import random`` purely for the ``random.Random`` *type annotation* is
+fine and widespread; only *calls* into the module are flagged.  The
+``rand.py`` module itself, which implements ``make_rng`` and the
+distribution generators, is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from . import Rule, register
+
+_ALLOWED_FILES = {"rand.py"}
+
+
+@register
+class RngDisciplineRule(Rule):
+    rule_id = "RP003"
+    title = "RNG discipline"
+    rationale = (
+        "All randomness must come from seeded RNGs built by "
+        "repro.rand.make_rng; module-level random.* calls draw from "
+        "interpreter state and break workload replay.")
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.filename in _ALLOWED_FILES:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == "random"):
+                    yield ctx.diag(
+                        node, self.rule_id,
+                        f"call to random.{func.attr}() outside rand.py; "
+                        "use a seeded rng from repro.rand.make_rng")
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                names = [alias.name for alias in node.names
+                         if alias.name != "Random"]
+                if names:
+                    yield ctx.diag(
+                        node, self.rule_id,
+                        f"importing {', '.join(names)} from random outside "
+                        "rand.py; use a seeded rng from repro.rand.make_rng")

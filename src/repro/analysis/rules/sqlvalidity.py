@@ -1,0 +1,93 @@
+"""RP004 — SQL validity.
+
+Raw SQL string literals in benchmark packages must parse under the
+engine's own :mod:`repro.engine.sqlparser`.  A typo in a rarely sampled
+procedure (a 1 %-weight transaction, an abort-path statement) otherwise
+survives until a long run happens to draw it, and then surfaces as an
+engine error counted against the benchmark's abort rate.
+
+The rule checks the first argument of ``execute`` / ``executemany``
+calls in any file under a ``benchmarks/`` directory.  Plain string
+literals are parsed directly.  f-strings are parsed when every
+interpolation resolves to a module-level string constant (the common
+``f"SELECT {COLS} FROM t"`` pattern); f-strings interpolating runtime
+values cannot be checked statically and are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ...errors import ReproError
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from . import Rule, register
+
+_EXECUTE_METHODS = {"execute", "executemany"}
+
+
+def _module_string_constants(tree: ast.Module) -> dict[str, str]:
+    """Names bound at module level to plain string literals."""
+    constants: dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and \
+                isinstance(node.value, ast.Constant) and \
+                isinstance(node.value.value, str):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    constants[target.id] = node.value.value
+    return constants
+
+
+def _resolve_sql(arg: ast.expr, constants: dict[str, str]) -> Optional[str]:
+    """Literal SQL text of ``arg``, or None when not statically known."""
+    if isinstance(arg, ast.Constant):
+        return arg.value if isinstance(arg.value, str) else None
+    if isinstance(arg, ast.JoinedStr):
+        parts: list[str] = []
+        for piece in arg.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(str(piece.value))
+            elif isinstance(piece, ast.FormattedValue) and \
+                    isinstance(piece.value, ast.Name) and \
+                    piece.value.id in constants:
+                parts.append(constants[piece.value.id])
+            else:
+                return None
+        return "".join(parts)
+    return None
+
+
+@register
+class SqlValidityRule(Rule):
+    rule_id = "RP004"
+    title = "SQL validity"
+    rationale = (
+        "SQL literals in benchmark procedures must parse under "
+        "engine/sqlparser; a typo in a low-weight transaction otherwise "
+        "hides until a long run samples it.")
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.in_directory("benchmarks"):
+            return
+        # Import lazily: the parser pulls in the engine package, which the
+        # lint framework must not require just to run the other rules.
+        from ...engine.sqlparser import parse
+        constants = _module_string_constants(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _EXECUTE_METHODS
+                    and node.args):
+                continue
+            sql = _resolve_sql(node.args[0], constants)
+            if sql is None or not sql.strip():
+                continue
+            try:
+                parse(sql)
+            except ReproError as exc:
+                yield ctx.diag(
+                    node.args[0], self.rule_id,
+                    f"SQL literal does not parse under engine/sqlparser: "
+                    f"{exc}")

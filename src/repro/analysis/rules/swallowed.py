@@ -1,0 +1,74 @@
+"""RP006 — swallowed errors in hot paths.
+
+A bare ``except:`` is always flagged: it catches ``KeyboardInterrupt``
+and ``SystemExit`` and turns shutdown into a hang.  ``except
+Exception`` / ``except BaseException`` is additionally flagged in the
+worker/engine *hot-path* modules when the handler neither re-raises nor
+raises something else — there, a silently swallowed engine error is
+recorded as a committed transaction and corrupts every downstream
+throughput/latency figure.  Handlers that re-raise (cleanup wrappers)
+are fine anywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from . import Rule, register
+
+#: Modules whose transaction/locking paths must not swallow errors.
+HOT_PATH_FILES = {
+    "executors.py", "requestqueue.py", "executor.py", "database.py",
+    "txn.py", "locks.py", "storage.py",
+}
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:
+        return True
+    types = node.elts if isinstance(node, ast.Tuple) else [node]
+    for item in types:
+        name = item.id if isinstance(item, ast.Name) else \
+            item.attr if isinstance(item, ast.Attribute) else ""
+        if name in _BROAD:
+            return True
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+@register
+class SwallowedErrorRule(Rule):
+    rule_id = "RP006"
+    title = "swallowed errors"
+    rationale = (
+        "Bare excepts hang shutdown; over-broad excepts in worker/engine "
+        "hot paths mislabel engine failures as committed work and corrupt "
+        "the measured throughput.")
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        hot = ctx.filename in HOT_PATH_FILES
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.diag(
+                    node, self.rule_id,
+                    "bare except catches KeyboardInterrupt/SystemExit and "
+                    "turns shutdown into a hang; name the exceptions")
+            elif hot and _is_broad(node) and not _reraises(node):
+                yield ctx.diag(
+                    node, self.rule_id,
+                    "over-broad except in a hot-path module without "
+                    "re-raise; swallowed engine errors corrupt the "
+                    "recorded results")

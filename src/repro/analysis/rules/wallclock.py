@@ -1,0 +1,56 @@
+"""RP001 — wall-clock discipline.
+
+Direct ``time.time()`` / ``time.sleep()`` / ``time.monotonic()`` calls
+bypass the :class:`~repro.clock.Clock` abstraction, so the simulated
+executor can no longer make the call site deterministic and the threaded
+executor cannot be shut down promptly (``time.sleep`` is
+uninterruptible).  Only ``clock.py`` — the module that *implements* the
+abstraction — may touch the ``time`` module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from . import Rule, register
+
+_BANNED = {
+    "time", "sleep", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns",
+}
+_ALLOWED_FILES = {"clock.py"}
+
+
+@register
+class WallClockRule(Rule):
+    rule_id = "RP001"
+    title = "wall-clock discipline"
+    rationale = (
+        "All time must flow through the injected Clock so simulated runs "
+        "stay deterministic and threaded runs stay interruptible; only "
+        "clock.py may call the time module directly.")
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.filename in _ALLOWED_FILES:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in _BANNED
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == "time"):
+                    yield ctx.diag(
+                        node, self.rule_id,
+                        f"call to time.{func.attr}() outside clock.py; "
+                        "use the injected Clock (clock.now()/clock.sleep())")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                bad = [a.name for a in node.names if a.name in _BANNED]
+                if bad:
+                    yield ctx.diag(
+                        node, self.rule_id,
+                        f"importing {', '.join(bad)} from time outside "
+                        "clock.py; use the injected Clock")

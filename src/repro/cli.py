@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from .benchmarks import benchmark_names, create_benchmark, table1
@@ -71,6 +72,18 @@ def build_parser() -> argparse.ArgumentParser:
     game.add_argument("--dbms", default="oracle",
                       choices=sorted(PERSONALITIES))
     game.add_argument("--seed", type=int, default=42)
+
+    lint = sub.add_parser(
+        "lint", help="run the repo-aware static analysis rules (RP001...)")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--select", help="comma-separated rule ids to run")
+    lint.add_argument("--ignore", help="comma-separated rule ids to skip")
+    lint.add_argument("--statistics", action="store_true",
+                      help="append a per-rule hit count to the text output")
+    lint.add_argument("--explain", action="store_true",
+                      help="print the rule table and exit")
     return parser
 
 
@@ -195,10 +208,40 @@ def cmd_game(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .analysis import Linter
+    from .analysis.reporters import render_explain, render_json, render_text
+
+    if args.explain:
+        print(render_explain())
+        return 0
+    split = (lambda raw: [p for p in raw.split(",") if p] if raw else None)
+    try:
+        linter = Linter(select=split(args.select), ignore=split(args.ignore))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such file or directory: {path}",
+                  file=sys.stderr)
+        return 2
+    diagnostics = linter.lint_paths(paths)
+    if args.format == "json":
+        print(render_json(diagnostics))
+    else:
+        output = render_text(diagnostics, statistics=args.statistics)
+        if output:
+            print(output)
+    return 1 if diagnostics else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "dump": cmd_dump,
-                "game": cmd_game}
+                "game": cmd_game, "lint": cmd_lint}
     try:
         return handlers[args.command](args)
     except BrokenPipeError:

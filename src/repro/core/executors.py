@@ -142,7 +142,16 @@ class ThreadedExecutor:
                     request = manager.queue.take(timeout=0.2)
                     if request is None:
                         continue
-                self._execute(manager, worker_id, conn, rng, request)
+                try:
+                    self._execute(manager, worker_id, conn, rng, request)
+                except Exception:
+                    # Engine errors are converted to STATUS_ERROR samples
+                    # inside _execute; anything reaching here is a harness
+                    # bug.  A worker dying silently would skew delivered
+                    # throughput for the rest of the run, so stop the
+                    # workload before letting the excepthook report it.
+                    manager.stop()
+                    raise
                 think = manager.current_think_time()
                 if think > 0:
                     sleeper.sleep(think)

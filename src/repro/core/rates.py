@@ -20,6 +20,7 @@ import random
 from typing import Iterator
 
 from ..errors import ConfigurationError
+from ..rand import make_rng
 from .phase import ARRIVAL_EXPONENTIAL, ARRIVAL_UNIFORM
 
 
@@ -48,7 +49,9 @@ class ArrivalSchedule:
             raise ConfigurationError(f"unknown arrival kind {arrival!r}")
         self.rate = float(rate)
         self.arrival = arrival
-        self._rng = rng or random.Random()
+        # Callers normally pass the manager's seeded rng; the fallback is
+        # seeded too so a bare ArrivalSchedule still replays identically.
+        self._rng = rng or make_rng(0, "arrival-schedule")
         self._deficit = 0.0
 
     def set_rate(self, rate: float) -> None:

@@ -46,10 +46,13 @@ class Database:
     """One logical database instance shared by many connections."""
 
     def __init__(self, name: str = "main",
-                 lock_timeout: float = 5.0) -> None:
+                 lock_timeout: float = 5.0, clock=None) -> None:
         self.name = name
         self.catalog = Catalog()
-        self.lock_manager = LockManager(timeout=lock_timeout)
+        # ``clock`` (a repro.clock.Clock or monotonic callable) feeds the
+        # lock manager's wait deadlines; injected so simulated databases
+        # never consult the wall clock.
+        self.lock_manager = LockManager(timeout=lock_timeout, clock=clock)
         self.txn_manager = TransactionManager()
         self.counters = EngineCounters()
         self._tables: dict[str, TableData] = {}

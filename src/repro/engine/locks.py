@@ -16,10 +16,10 @@ model.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
-from typing import Hashable, Optional
+from typing import Callable, Hashable, Optional, Union
 
+from ..clock import Clock, RealClock
 from ..errors import DeadlockError, LockTimeoutError
 
 SHARED = "S"
@@ -59,8 +59,17 @@ class LockStats:
 class LockManager:
     """Table/row lock manager shared by every connection of one database."""
 
-    def __init__(self, timeout: float = 5.0) -> None:
+    def __init__(self, timeout: float = 5.0,
+                 clock: Union[Clock, Callable[[], float], None] = None
+                 ) -> None:
         self.timeout = timeout
+        # Wait deadlines and wait-time accounting go through an injected
+        # monotonic time source so simulated runs stay deterministic; a
+        # Clock or a bare callable returning seconds are both accepted.
+        if clock is None:
+            clock = RealClock()
+        self._now: Callable[[], float] = (
+            clock.now if isinstance(clock, Clock) else clock)
         self._mutex = threading.Lock()
         self._condition = threading.Condition(self._mutex)
         self._entries: dict[Hashable, _LockEntry] = {}
@@ -83,7 +92,7 @@ class LockManager:
         """
         if timeout is None:
             timeout = self.timeout
-        deadline = time.monotonic() + timeout
+        deadline = self._now() + timeout
         with self._condition:
             self._txn_thread[txn] = threading.get_ident()
             entry = self._entries.setdefault(resource, _LockEntry())
@@ -96,7 +105,7 @@ class LockManager:
             # Must wait.
             self.stats.waits += 1
             entry.waiters.append((txn, mode))
-            wait_started = time.monotonic()
+            wait_started = self._now()
             try:
                 while True:
                     blockers = self._blockers(entry, txn, mode)
@@ -110,7 +119,7 @@ class LockManager:
                         raise DeadlockError(
                             f"self-wait acquiring {mode} on {resource!r} "
                             "(conflicting transaction on the same thread)")
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - self._now()
                     if remaining <= 0:
                         self.stats.timeouts += 1
                         raise LockTimeoutError(
@@ -125,7 +134,7 @@ class LockManager:
                     entry.waiters.remove((txn, mode))
                 except ValueError:
                     pass
-                self.stats.wait_time += time.monotonic() - wait_started
+                self.stats.wait_time += self._now() - wait_started
                 self._condition.notify_all()
 
     def try_acquire(self, txn: object, resource: Hashable, mode: str) -> bool:

@@ -1,0 +1,4 @@
+"""RP005 registry fixture: ghost/ exists but is never imported."""  # !RP005
+from .fake import FakeBenchmark  # !RP005
+
+REGISTRY = {"other": object}

@@ -1,0 +1,3 @@
+"""Sibling package referenced by the RP005 registry fixture."""
+
+FakeBenchmark = None

@@ -1,0 +1,21 @@
+"""RP004 golden fixture: SQL literals that must parse under the engine."""
+
+COLS = "a, b"
+
+
+def bad(conn) -> None:
+    cur = conn.cursor()
+    cur.execute("SELEC a FROM t")  # !RP004
+    cur.execute(f"SELECT {COLS} FROM")  # !RP004
+    cur.execute("INSERT INTO t (a) VALUE (?)", (1,))  # !RP004
+
+
+def skipped_runtime_interpolation(conn, column: str) -> None:
+    # Not statically checkable: interpolates a runtime value.
+    conn.cursor().execute(f"SELECT {column} FROM t")
+
+
+def fine(conn) -> None:
+    cur = conn.cursor()
+    cur.execute("SELECT a FROM t WHERE a = ?", (1,))
+    cur.execute(f"SELECT {COLS} FROM t ORDER BY a")

@@ -1,0 +1,1 @@
+"""Package deliberately missing from the registry fixture's imports."""

@@ -1,0 +1,38 @@
+"""RP006 golden fixture: swallowed errors (filename marks it hot-path)."""
+
+
+def worker_loop(queue) -> None:
+    while True:
+        try:
+            queue.take()
+        except:  # noqa: E722  # !RP006
+            pass
+
+
+def hot_path_swallow(conn) -> None:
+    try:
+        conn.commit()
+    except Exception:  # !RP006
+        pass
+
+
+def hot_path_tuple(conn) -> None:
+    try:
+        conn.commit()
+    except (ValueError, BaseException):  # !RP006
+        conn.log()
+
+
+def fine_reraise(conn) -> None:
+    try:
+        conn.commit()
+    except Exception:
+        conn.rollback()
+        raise
+
+
+def fine_narrow(conn) -> None:
+    try:
+        conn.commit()
+    except ValueError:
+        pass

@@ -1,0 +1,28 @@
+"""RP001 golden fixture: wall-clock calls outside clock.py.
+
+Lines carrying a ``!RP001`` trailing marker must produce one RP001
+diagnostic; unmarked lines must stay silent.
+"""
+
+import time
+from time import sleep  # !RP001
+
+
+def deadline() -> float:
+    return time.time() + 5.0  # !RP001
+
+
+def nap() -> None:
+    time.sleep(0.1)  # !RP001
+
+
+def tick() -> float:
+    return time.monotonic()  # !RP001
+
+
+def suppressed() -> float:
+    return time.monotonic()  # repro: noqa[RP001] golden: suppression works
+
+
+def fine(clock) -> float:
+    return clock.now()

@@ -1,0 +1,44 @@
+"""RP002 golden fixture: acquire() without with/try-finally."""
+
+import threading
+
+
+def do_work() -> None:
+    pass
+
+
+class Holder:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.mutex = threading.Lock()
+        self._cond = threading.Condition()
+
+    def bad(self) -> None:
+        self._lock.acquire()  # !RP002
+        do_work()
+        self._lock.release()
+
+    def bad_condition(self) -> None:
+        self._cond.acquire()  # !RP002
+        do_work()
+        self._cond.release()
+
+    def good_with(self) -> None:
+        with self._lock:
+            do_work()
+
+    def good_try_finally(self) -> None:
+        self.mutex.acquire()
+        try:
+            do_work()
+        finally:
+            self.mutex.release()
+
+    def good_lock_manager(self, txn) -> None:
+        # The engine's 2PL manager releases via release_all, not here.
+        self.lock_manager.acquire(txn, ("row", "t", 1), "X")
+
+    def good_checked(self) -> bool:
+        # Assigned results are presumed checked (non-blocking pattern).
+        got = self._lock.acquire(blocking=False)
+        return got

@@ -1,0 +1,20 @@
+"""RP003 golden fixture: module-level random usage outside rand.py."""
+
+import random
+from random import randint  # !RP003
+
+
+def sample() -> float:
+    return random.random()  # !RP003
+
+
+def make_unseeded() -> random.Random:
+    return random.Random()  # !RP003
+
+
+def suppressed() -> float:
+    return random.random()  # repro: noqa[RP003] golden: suppression works
+
+
+def fine(rng: random.Random) -> int:
+    return rng.randrange(10)

@@ -1,0 +1,42 @@
+"""RP005 golden fixture: benchmark registration consistency."""
+
+
+class BenchmarkModule:
+    """Stand-in base class so the fixture is self-contained."""
+
+
+class ReadA:
+    default_weight = 10
+
+
+class NegativeWeight:  # !RP005
+    default_weight = -5
+
+
+class EmptyBenchmark(BenchmarkModule):
+    name = "empty"
+    procedures = ()  # !RP005
+
+
+class NoProcsBenchmark(BenchmarkModule):  # !RP005
+    name = "noprocs"
+
+
+class DuplicateBenchmark(BenchmarkModule):
+    name = "dup"
+    procedures = (ReadA, ReadA)  # !RP005
+
+
+class UnresolvedBenchmark(BenchmarkModule):
+    name = "unresolved"
+    procedures = (ReadA, MissingProcedure)  # !RP005
+
+
+class NegativeBenchmark(BenchmarkModule):
+    name = "negative"
+    procedures = (ReadA, NegativeWeight)
+
+
+class FineBenchmark(BenchmarkModule):
+    name = "fine"
+    procedures = (ReadA,)

@@ -1,0 +1,52 @@
+"""The merged tree itself must lint clean — the rules gate CI."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def test_src_tree_is_lint_clean():
+    diagnostics = lint_paths([SRC], root=REPO_ROOT)
+    assert diagnostics == [], "\n".join(d.format() for d in diagnostics)
+
+
+def test_cli_lint_exits_zero_on_clean_tree(capsys):
+    assert main(["lint", str(SRC)]) == 0
+
+
+def test_cli_lint_exits_one_on_violations(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "RP001" in out
+
+
+def test_cli_lint_json_format(tmp_path, capsys):
+    import json
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.sleep(1)\n")
+    assert main(["lint", str(bad), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    assert payload["diagnostics"][0]["rule"] == "RP001"
+
+
+def test_cli_lint_explain_lists_all_rules(capsys):
+    assert main(["lint", "--explain"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RP001", "RP002", "RP003", "RP004", "RP005", "RP006"):
+        assert rule_id in out
+
+
+def test_cli_lint_select_filters(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    assert main(["lint", str(bad), "--select", "RP002"]) == 0

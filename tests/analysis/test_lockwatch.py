@@ -1,0 +1,230 @@
+"""Runtime watchdog tests: inversions, guards, Condition interplay.
+
+Everything here builds its own :class:`LockWatch`, so the module is
+marked ``lockwatch_exempt`` — the global ``--lockwatch`` instrumentation
+must not double-wrap the deliberately misbehaving locks.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.lockwatch import GuardedMapping, LockWatch
+from repro.engine.locks import EXCLUSIVE, LockManager
+
+pytestmark = pytest.mark.lockwatch_exempt
+
+
+def run_thread(target) -> None:
+    thread = threading.Thread(target=target)
+    thread.start()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+
+
+# -- lock-order inversions ----------------------------------------------
+
+
+def test_detects_ab_ba_inversion():
+    watch = LockWatch()
+    lock_a = watch.wrap_lock(name="A")
+    lock_b = watch.wrap_lock(name="B")
+
+    with lock_a:
+        with lock_b:
+            pass
+
+    def reversed_order():
+        with lock_b:
+            with lock_a:
+                pass
+
+    run_thread(reversed_order)
+    assert len(watch.violations) == 1
+    violation = watch.violations[0]
+    assert violation.first == "B"
+    assert violation.second == "A"
+    with pytest.raises(AssertionError, match="lock-order inversion"):
+        watch.assert_clean()
+
+
+def test_detects_inversion_through_intermediate_lock():
+    """A→B and B→C imply A before C; C→A closes the cycle."""
+    watch = LockWatch()
+    lock_a = watch.wrap_lock(name="A")
+    lock_b = watch.wrap_lock(name="B")
+    lock_c = watch.wrap_lock(name="C")
+
+    with lock_a, lock_b:
+        pass
+    with lock_b, lock_c:
+        pass
+
+    def close_cycle():
+        with lock_c, lock_a:
+            pass
+
+    run_thread(close_cycle)
+    assert [v.second for v in watch.violations] == ["A"]
+
+
+def test_consistent_order_is_clean():
+    watch = LockWatch()
+    lock_a = watch.wrap_lock(name="A")
+    lock_b = watch.wrap_lock(name="B")
+    for _ in range(3):
+        with lock_a, lock_b:
+            pass
+
+    def same_order():
+        with lock_a, lock_b:
+            pass
+
+    run_thread(same_order)
+    watch.assert_clean()
+    assert watch.order_graph() == {"A": {"B": 4}}
+
+
+def test_reentrant_rlock_adds_no_self_edge():
+    watch = LockWatch()
+    rlock = watch.wrap_lock(threading.RLock(), name="R", kind="RLock")
+    with rlock:
+        with rlock:
+            pass
+    watch.assert_clean()
+    assert watch.order_graph() == {}
+
+
+def test_installed_patches_threading_factories():
+    watch = LockWatch()
+    with watch.installed():
+        first = threading.Lock()
+        second = threading.Lock()
+        with first:
+            with second:
+                pass
+
+        def reversed_order():
+            with second:
+                with first:
+                    pass
+
+        run_thread(reversed_order)
+    # Factories restored on exit.
+    assert type(threading.Lock()).__name__ != "_WatchedLock"
+    assert len(watch.violations) == 1
+
+
+def test_condition_wait_releases_held_state():
+    """While waiting on a Condition the underlying lock is not 'held'."""
+    watch = LockWatch()
+    with watch.installed():
+        condition = threading.Condition()
+        other = threading.Lock()
+        started = threading.Event()
+        woken = []
+
+        def waiter():
+            with condition:
+                started.set()
+                condition.wait(timeout=5.0)
+                woken.append(True)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        assert started.wait(timeout=5.0)
+        # The waiter holds nothing while blocked in wait(); taking the
+        # condition here must not record condition-after-other edges from
+        # the waiter's thread.
+        with condition:
+            with other:
+                condition.notify_all()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+    assert woken == [True]
+    watch.assert_clean()
+
+
+# -- guarded fields ------------------------------------------------------
+
+
+def test_guarded_mapping_flags_unlocked_access():
+    watch = LockWatch()
+    guard = watch.wrap_lock(name="guard")
+    shared = GuardedMapping(watch, {}, guard, "shared")
+
+    with guard:
+        shared["k"] = 1  # guarded: fine
+    assert not watch.guard_violations
+
+    shared["k"] = 2  # unguarded write
+    _ = shared["k"]  # unguarded read
+    assert [v.operation for v in watch.guard_violations] == ["write", "read"]
+    with pytest.raises(AssertionError, match="guarded-field"):
+        watch.assert_clean()
+
+
+def test_guard_lockmanager_accepts_clean_usage():
+    watch = LockWatch()
+    with watch.installed():
+        manager = LockManager(timeout=0.5)
+        watch.guard_lockmanager(manager)
+        manager.acquire("txn1", ("row", "t", 1), EXCLUSIVE)
+        assert manager.holds("txn1", ("row", "t", 1), EXCLUSIVE)
+        manager.release_all("txn1")
+    watch.assert_clean()
+
+
+def test_guard_lockmanager_flags_direct_poke():
+    watch = LockWatch()
+    with watch.installed():
+        manager = LockManager(timeout=0.5)
+        watch.guard_lockmanager(manager)
+        manager._entries.get(("row", "t", 1))  # race: no mutex held
+    assert watch.guard_violations
+    assert watch.guard_violations[0].target == "LockManager._entries"
+
+
+def test_guard_lockmanager_requires_instrumented_mutex():
+    watch = LockWatch()
+    manager = LockManager()  # built outside installed(): raw mutex
+    with pytest.raises(TypeError, match="not instrumented"):
+        watch.guard_lockmanager(manager)
+
+
+# -- LockManager resource-order recording --------------------------------
+
+
+def test_resource_order_graph_and_inversions():
+    watch = LockWatch()
+    manager = LockManager(timeout=0.5)
+    watch.watch_lockmanager(manager)
+
+    row1, row2 = ("row", "t", 1), ("row", "t", 2)
+    manager.acquire("txn1", row1, EXCLUSIVE)
+    manager.acquire("txn1", row2, EXCLUSIVE)
+    manager.release_all("txn1")
+
+    graph = watch.resource_order_graph()
+    assert graph == {row1: {row2: 1}}
+    assert watch.resource_inversions() == []
+
+    manager.acquire("txn2", row2, EXCLUSIVE)
+    manager.acquire("txn2", row1, EXCLUSIVE)
+    manager.release_all("txn2")
+
+    pairs = watch.resource_inversions()
+    assert pairs == [(row1, row2)] or pairs == [(row2, row1)]
+
+
+# -- pytest fixture ------------------------------------------------------
+
+
+def test_explicit_fixture_passes_clean_test(lockwatch):
+    lock_a = lockwatch.wrap_lock(name="A")
+    lock_b = lockwatch.wrap_lock(name="B")
+    with lock_a, lock_b:
+        pass
+    assert lockwatch.order_graph() == {"A": {"B": 1}}

@@ -1,0 +1,123 @@
+"""Golden-file tests: every rule fires exactly where the fixtures say.
+
+Fixture lines carry ``# !RPnnn`` markers; the test lints each fixture
+with only that rule selected and requires the (line, rule) sets to match
+exactly — extra diagnostics are as much a failure as missing ones.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Linter, lint_paths
+from repro.analysis.diagnostics import SuppressionIndex, Diagnostic
+
+GOLDEN = Path(__file__).parent / "golden"
+_MARKER = re.compile(r"#\s*!(RP\d{3})")
+
+FIXTURES = {
+    "RP001": GOLDEN / "rp001_bad.py",
+    "RP002": GOLDEN / "rp002_bad.py",
+    "RP003": GOLDEN / "rp003_bad.py",
+    "RP004": GOLDEN / "benchmarks" / "fake" / "procedures.py",
+    "RP005": GOLDEN / "rp005_bad.py",
+    "RP006": GOLDEN / "hot" / "executors.py",
+}
+
+
+def expected_markers(path: Path, rule: str) -> set[tuple[int, str]]:
+    expected = set()
+    for lineno, text in enumerate(path.read_text().splitlines(), start=1):
+        for match in _MARKER.finditer(text):
+            if match.group(1) == rule:
+                expected.add((lineno, rule))
+    return expected
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_rule_fires_on_golden_fixture(rule):
+    fixture = FIXTURES[rule]
+    expected = expected_markers(fixture, rule)
+    assert expected, f"fixture {fixture} has no {rule} markers"
+    linter = Linter(root=GOLDEN, select=[rule])
+    actual = {(d.line, d.rule) for d in linter.lint_file(fixture)}
+    assert actual == expected
+
+
+def test_registry_fixture_fires():
+    fixture = GOLDEN / "benchmarks" / "__init__.py"
+    expected = expected_markers(fixture, "RP005")
+    linter = Linter(root=GOLDEN, select=["RP005"])
+    actual = {(d.line, d.rule) for d in linter.lint_file(fixture)}
+    assert actual == expected
+
+
+def test_whole_golden_tree_only_fires_marked_rules():
+    """Linting the full fixture tree finds markers and nothing else."""
+    diagnostics = lint_paths([GOLDEN], root=GOLDEN)
+    actual = {(Path(d.path).name, d.line, d.rule) for d in diagnostics}
+    expected = set()
+    for path in GOLDEN.rglob("*.py"):
+        for lineno, text in enumerate(path.read_text().splitlines(), 1):
+            for match in _MARKER.finditer(text):
+                expected.add((path.name, lineno, match.group(1)))
+    assert actual == expected
+
+
+# -- framework mechanics -------------------------------------------------
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ValueError, match="RP999"):
+        Linter(select=["RP999"])
+
+
+def test_select_and_ignore_compose():
+    linter = Linter(select=["RP001", "RP003"], ignore=["RP003"])
+    assert [r.rule_id for r in linter.rules] == ["RP001"]
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    (diag,) = Linter(root=tmp_path).lint_file(bad)
+    assert diag.rule == "RP000"
+    assert "syntax error" in diag.message
+
+
+def test_line_suppression_all_rules():
+    index = SuppressionIndex.from_source(
+        ["x = time.time()  # repro: noqa"])
+    diag = Diagnostic(path="f.py", line=1, col=1, rule="RP001", message="m")
+    assert index.suppresses(diag)
+
+
+def test_line_suppression_specific_rule_only():
+    index = SuppressionIndex.from_source(
+        ["x = time.time()  # repro: noqa[RP003]"])
+    diag = Diagnostic(path="f.py", line=1, col=1, rule="RP001", message="m")
+    assert not index.suppresses(diag)
+
+
+def test_file_wide_suppression(tmp_path):
+    source = (
+        "# repro: noqa-file[RP001] generated fixture\n"
+        "import time\n"
+        "t = time.time()\n")
+    diags = Linter(root=tmp_path).lint_source(
+        source, tmp_path / "gen.py")
+    assert [d for d in diags if d.rule == "RP001"] == []
+
+
+def test_json_reporter_round_trips():
+    import json
+
+    from repro.analysis import render_json
+    diag = Diagnostic(path="f.py", line=3, col=7, rule="RP002", message="m")
+    payload = json.loads(render_json([diag]))
+    assert payload["count"] == 1
+    assert payload["diagnostics"][0]["rule"] == "RP002"
+    assert payload["diagnostics"][0]["line"] == 3

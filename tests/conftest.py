@@ -1,4 +1,12 @@
-"""Shared fixtures: a fresh engine database and a miniature benchmark."""
+"""Shared fixtures: a fresh engine database and a miniature benchmark.
+
+Also wires the lock-order/race watchdog (``repro.analysis.lockwatch``)
+into pytest: run with ``--lockwatch`` to instrument every
+``threading.Lock``/``RLock``/``Condition`` created during each test and
+fail the test on lock-order inversions or guarded-field races.  Tests
+that deliberately provoke violations opt out with the
+``lockwatch_exempt`` marker.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +14,39 @@ import random
 
 import pytest
 
+from repro.analysis.lockwatch import LockWatch
 from repro.core.benchmark import BenchmarkModule
 from repro.core.procedure import Procedure
 from repro.engine import Database, connect
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--lockwatch", action="store_true", default=False,
+        help="instrument threading primitives with the lock-order "
+             "watchdog and fail tests on inversions")
+
+
+@pytest.fixture(autouse=True)
+def _lockwatch_auto(request):
+    """Test-wide watchdog, active only under ``--lockwatch``."""
+    if not request.config.getoption("--lockwatch") or \
+            request.node.get_closest_marker("lockwatch_exempt"):
+        yield None
+        return
+    watch = LockWatch()
+    with watch.installed():
+        yield watch
+    watch.assert_clean()
+
+
+@pytest.fixture
+def lockwatch():
+    """Explicit watchdog for tests asserting on the order graph."""
+    watch = LockWatch()
+    with watch.installed():
+        yield watch
+    watch.assert_clean()
 
 
 class ReadKv(Procedure):

@@ -45,6 +45,6 @@ def all_rules() -> list[Rule]:
 
 # Importing the modules registers the rules.
 from . import (lockdiscipline, registration, rng,  # noqa: E402,F401
-               sqlvalidity, swallowed, wallclock)
+               sqlvalidity, streamingcopy, swallowed, wallclock)
 
 __all__ = ["Rule", "RULES", "register", "all_rules"]

@@ -1,0 +1,56 @@
+"""RP007 — streaming-metrics copy discipline.
+
+The whole point of ``repro.metrics`` is that feedback queries are
+O(bins): each sample is folded in once at record time and the raw
+sample list is never revisited.  A call to ``Results.samples()`` /
+``Results.latencies()`` (both return fresh per-sample list copies) or a
+reach into ``_samples`` from inside the streaming layer silently turns
+an O(bins) query back into an O(n) rescan — exactly the regression the
+``bench_metrics_overhead`` smoke job guards against, caught here
+statically so it fails in lint rather than in a perf chart.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from . import Rule, register
+
+#: Methods on Results that materialise a fresh per-sample copy.
+_COPYING_CALLS = {"samples", "latencies"}
+_RAW_ATTRS = {"_samples"}
+_SCOPE_DIR = "metrics"
+
+
+@register
+class StreamingCopyRule(Rule):
+    rule_id = "RP007"
+    title = "streaming-metrics copy discipline"
+    rationale = (
+        "The streaming feedback layer (repro.metrics) must consume each "
+        "sample once at record time; calling Results.samples()/"
+        "latencies() or touching _samples from inside it reintroduces "
+        "the O(n)-per-query rescans the layer exists to eliminate.")
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.in_directory(_SCOPE_DIR):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in _COPYING_CALLS):
+                    yield ctx.diag(
+                        node, self.rule_id,
+                        f"call to .{func.attr}() inside the streaming "
+                        "metrics layer copies the raw sample list; fold "
+                        "samples in via observe() at record time instead")
+            elif isinstance(node, ast.Attribute) and \
+                    node.attr in _RAW_ATTRS:
+                yield ctx.diag(
+                    node, self.rule_id,
+                    "direct access to the raw _samples list inside the "
+                    "streaming metrics layer; queries must stay O(bins)")

@@ -12,7 +12,11 @@ from http.client import HTTPConnection
 from typing import Mapping, Optional
 from urllib.parse import urlparse
 
-from ..errors import ApiError
+from ..errors import ApiError, ApiMethodNotAllowed, ApiNotFound
+
+
+def _window_query(window: Optional[float]) -> str:
+    return "" if window is None else f"?window={window:g}"
 
 
 class ApiClient:
@@ -39,6 +43,12 @@ class ApiClient:
             data = json.loads(response.read() or b"null")
             if response.status >= 400:
                 message = (data or {}).get("error", f"HTTP {response.status}")
+                # Mirror the server's status-code semantics so callers can
+                # distinguish "no such tenant" from "bad request".
+                if response.status == 404:
+                    raise ApiNotFound(message)
+                if response.status == 405:
+                    raise ApiMethodNotAllowed(message)
                 raise ApiError(message)
             return data
         finally:
@@ -55,8 +65,23 @@ class ApiClient:
     def all_status(self) -> dict:
         return self._request("GET", "/status")
 
-    def status(self, tenant: str) -> dict:
-        return self._request("GET", f"/workloads/{tenant}/status")
+    def status(self, tenant: str, now: Optional[float] = None,
+               window: Optional[float] = None) -> dict:
+        # ``now`` mirrors ControlApi's signature for drop-in use (e.g. by
+        # the game loop) but is ignored remotely: the server's clock rules.
+        return self._request("GET", f"/workloads/{tenant}/status"
+                             + _window_query(window))
+
+    def metrics(self, tenant: str, now: Optional[float] = None,
+                window: Optional[float] = None) -> dict:
+        """Streaming metrics: windowed throughput, latency quantiles,
+        queue accounting.  ``now`` is accepted for ControlApi signature
+        parity and ignored remotely."""
+        return self._request("GET", f"/workloads/{tenant}/metrics"
+                             + _window_query(window))
+
+    def all_metrics(self, window: Optional[float] = None) -> dict:
+        return self._request("GET", "/metrics" + _window_query(window))
 
     def presets(self, tenant: str) -> dict:
         return self._request("GET", f"/workloads/{tenant}/presets")

@@ -7,7 +7,7 @@ from typing import Mapping, Optional
 
 from ..benchmarks import table1
 from ..core.manager import WorkloadManager
-from ..errors import ApiError
+from ..errors import ApiError, ApiNotFound
 
 
 class ControlApi:
@@ -34,8 +34,8 @@ class ControlApi:
         try:
             return self._workloads[tenant]
         except KeyError:
-            raise ApiError(f"no workload registered for tenant "
-                           f"{tenant!r}") from None
+            raise ApiNotFound(f"no workload registered for tenant "
+                              f"{tenant!r}") from None
 
     # -- control verbs ----------------------------------------------------------
 
@@ -89,6 +89,17 @@ class ControlApi:
 
     def all_status(self, now: Optional[float] = None) -> dict:
         return {tenant: manager.status(now)
+                for tenant, manager in sorted(self._workloads.items())}
+
+    def metrics(self, tenant: str, now: Optional[float] = None,
+                window: float = 5.0) -> dict:
+        """Streaming feedback: windowed throughput, latency quantiles,
+        and queue accounting — O(bins), never rescans the sample list."""
+        return self._manager(tenant).metrics(now, window)
+
+    def all_metrics(self, now: Optional[float] = None,
+                    window: float = 5.0) -> dict:
+        return {tenant: manager.metrics(now, window)
                 for tenant, manager in sorted(self._workloads.items())}
 
     def presets(self, tenant: str) -> dict:

@@ -4,7 +4,9 @@ Routes (all JSON):
 
     GET  /benchmarks                      -> paper Table 1
     GET  /status                          -> every tenant's status
+    GET  /metrics                         -> every tenant's streaming metrics
     GET  /workloads/<tenant>/status
+    GET  /workloads/<tenant>/metrics      ?window=<seconds>
     GET  /workloads/<tenant>/presets
     POST /workloads/<tenant>/rate         {"rate": 150 | "unlimited" | "disabled"}
     POST /workloads/<tenant>/weights      {"weights": {"NewOrder": 45, ...}}
@@ -12,6 +14,10 @@ Routes (all JSON):
     POST /workloads/<tenant>/think_time   {"seconds": 0.01}
     POST /workloads/<tenant>/pause
     POST /workloads/<tenant>/resume
+
+Status codes follow HTTP semantics: 404 for unknown paths and unknown
+tenants, 405 (with an ``Allow`` header) for a known path hit with the
+wrong method, 400 for malformed bodies or invalid control values.
 """
 
 from __future__ import annotations
@@ -19,10 +25,17 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import Callable, Optional
+from urllib.parse import parse_qs, urlsplit
 
-from ..errors import ApiError
+from ..errors import ApiError, ApiMethodNotAllowed, ApiNotFound
 from .control import ControlApi
+
+#: POST actions under /workloads/<tenant>/<action>.
+_POST_ACTIONS = ("rate", "weights", "preset", "think_time", "pause",
+                 "resume")
+#: GET views under /workloads/<tenant>/<view>.
+_GET_VIEWS = ("status", "metrics", "presets")
 
 
 class ApiServer:
@@ -72,11 +85,14 @@ def _make_handler(control: ControlApi):
 
         # -- helpers --------------------------------------------------
 
-        def _send(self, code: int, payload: object) -> None:
+        def _send(self, code: int, payload: object,
+                  allow: tuple[str, ...] = ()) -> None:
             body = json.dumps(payload).encode()
             self.send_response(code)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            if allow:
+                self.send_header("Allow", ", ".join(allow))
             self.end_headers()
             self.wfile.write(body)
 
@@ -89,10 +105,36 @@ def _make_handler(control: ControlApi):
             except json.JSONDecodeError:
                 raise ApiError("request body is not valid JSON") from None
 
-        def _route(self, method: str) -> None:
-            parts = [p for p in self.path.split("/") if p]
+        def _window(self, query: dict) -> float:
+            raw = query.get("window", ["5.0"])[0]
             try:
-                payload = self._dispatch(method, parts)
+                window = float(raw)
+            except ValueError:
+                raise ApiError(f"window must be a number, got "
+                               f"{raw!r}") from None
+            if window <= 0:
+                raise ApiError("window must be positive")
+            return window
+
+        def _route(self, method: str) -> None:
+            split = urlsplit(self.path)
+            parts = [p for p in split.path.split("/") if p]
+            query = parse_qs(split.query)
+            try:
+                handlers = self._match(parts, query)
+                if not handlers:
+                    raise ApiNotFound(f"unknown path {split.path!r}")
+                handler = handlers.get(method)
+                if handler is None:
+                    raise ApiMethodNotAllowed(
+                        f"{method} not allowed on {split.path!r}",
+                        allowed=tuple(sorted(handlers)))
+                payload = handler()
+            except ApiMethodNotAllowed as exc:
+                self._send(405, {"ok": False, "error": str(exc)},
+                           allow=exc.allowed)
+            except ApiNotFound as exc:
+                self._send(404, {"ok": False, "error": str(exc)})
             except ApiError as exc:
                 self._send(400, {"ok": False, "error": str(exc)})
             except Exception as exc:  # pragma: no cover - defensive
@@ -100,47 +142,66 @@ def _make_handler(control: ControlApi):
             else:
                 self._send(200, payload)
 
-        def _dispatch(self, method: str, parts: list[str]) -> object:
-            if method == "GET":
-                if parts == ["benchmarks"]:
-                    return control.benchmarks()
-                if parts == ["status"]:
-                    return control.all_status()
-                if parts == ["tenants"]:
-                    return control.tenants()
-                if (len(parts) == 3 and parts[0] == "workloads"
-                        and parts[2] == "status"):
-                    return control.status(parts[1])
-                if (len(parts) == 3 and parts[0] == "workloads"
-                        and parts[2] == "presets"):
-                    return control.presets(parts[1])
-                raise ApiError(f"unknown GET path {self.path!r}")
-            if method == "POST":
-                if len(parts) == 3 and parts[0] == "workloads":
-                    tenant, action = parts[1], parts[2]
-                    body = self._read_body()
-                    if action == "rate":
-                        return control.set_rate(tenant, body.get("rate"))
-                    if action == "weights":
-                        return control.set_weights(
-                            tenant, body.get("weights", {}))
-                    if action == "preset":
-                        return control.set_preset(
-                            tenant, body.get("preset", ""))
-                    if action == "think_time":
-                        return control.set_think_time(
-                            tenant, body.get("seconds", 0.0))
-                    if action == "pause":
-                        return control.pause(tenant)
-                    if action == "resume":
-                        return control.resume(tenant)
-                raise ApiError(f"unknown POST path {self.path!r}")
-            raise ApiError(f"unsupported method {method}")
+        def _match(self, parts: list[str], query: dict
+                   ) -> dict[str, Callable[[], object]]:
+            """Map the path to its {method: handler} table.
+
+            An empty table means the path does not exist (404); a known
+            path queried with a method missing from its table is a 405.
+            """
+            if parts == ["benchmarks"]:
+                return {"GET": control.benchmarks}
+            if parts == ["status"]:
+                return {"GET": control.all_status}
+            if parts == ["metrics"]:
+                return {"GET": lambda: control.all_metrics(
+                    window=self._window(query))}
+            if parts == ["tenants"]:
+                return {"GET": control.tenants}
+            if len(parts) == 3 and parts[0] == "workloads":
+                tenant, action = parts[1], parts[2]
+                if action == "status":
+                    return {"GET": lambda: control.status(
+                        tenant, window=self._window(query))}
+                if action == "metrics":
+                    return {"GET": lambda: control.metrics(
+                        tenant, window=self._window(query))}
+                if action == "presets":
+                    return {"GET": lambda: control.presets(tenant)}
+                if action in _POST_ACTIONS:
+                    return {"POST": lambda: self._post_action(
+                        tenant, action)}
+            return {}
+
+        def _post_action(self, tenant: str, action: str) -> object:
+            body = self._read_body()
+            if action == "rate":
+                return control.set_rate(tenant, body.get("rate"))
+            if action == "weights":
+                return control.set_weights(tenant,
+                                           body.get("weights", {}))
+            if action == "preset":
+                return control.set_preset(tenant, body.get("preset", ""))
+            if action == "think_time":
+                return control.set_think_time(tenant,
+                                              body.get("seconds", 0.0))
+            if action == "pause":
+                return control.pause(tenant)
+            return control.resume(tenant)
 
         def do_GET(self) -> None:  # noqa: N802 - http.server naming
             self._route("GET")
 
         def do_POST(self) -> None:  # noqa: N802
             self._route("POST")
+
+        def do_PUT(self) -> None:  # noqa: N802
+            self._route("PUT")
+
+        def do_DELETE(self) -> None:  # noqa: N802
+            self._route("DELETE")
+
+        def do_PATCH(self) -> None:  # noqa: N802
+            self._route("PATCH")
 
     return Handler

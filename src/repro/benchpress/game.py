@@ -126,9 +126,12 @@ class GameSession:
             self.character.apply_gravity(dt)
         self._push_rate()
 
-        status = self.control.status(self.tenant, now,
-                                     window=self.measure_window)
-        delivered = float(status["throughput"])
+        # Altitude comes from the streaming metrics endpoint: the same
+        # windowed throughput as /status, but O(bins) per poll — a 60 Hz
+        # game loop over a long run must not rescan the sample list.
+        metrics = self.control.metrics(self.tenant, now,
+                                       window=self.measure_window)
+        delivered = float(metrics["window"]["throughput"])
         self.character.observe(delivered)
         self.altitude_history.append(
             (now, self.character.requested_rate, delivered))

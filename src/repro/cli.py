@@ -55,6 +55,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--threaded", action="store_true",
                      help="run live worker threads instead of simulating")
     run.add_argument("--trace", help="write the raw per-txn trace CSV here")
+    run.add_argument("--metrics-out",
+                     help="write the final streaming-metrics snapshot "
+                          "(windowed throughput, latency quantiles, queue "
+                          "accounting) as JSON here")
     run.add_argument("--restore", help="load data from a dump file "
                                        "instead of the generator")
 
@@ -129,7 +133,9 @@ def cmd_run(args) -> int:
         manager = WorkloadManager(bench, config)
         executor = ThreadedExecutor(db)
         executor.add_workload(manager)
-        executor.run(timeout=config.total_duration() + 30)
+        run_report = executor.run(timeout=config.total_duration() + 30)
+        if run_report.get("error"):
+            print(f"warning: {run_report['error']}", file=sys.stderr)
     else:
         clock = SimClock()
         manager = WorkloadManager(bench, config, clock=clock)
@@ -157,6 +163,11 @@ def cmd_run(args) -> int:
         with TraceWriter(args.trace) as writer:
             count = writer.write_results(manager.results)
         print(f"wrote {count} samples to {args.trace}", file=sys.stderr)
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            json.dumps(manager.metrics(), indent=2, default=str) + "\n")
+        print(f"wrote streaming metrics to {args.metrics_out}",
+              file=sys.stderr)
     return 0
 
 

@@ -4,10 +4,15 @@ The control API reports "instantaneous feedback about the current execution
 throughput and average latency per transaction type".  The collector keeps
 per-second ring buckets so those queries are O(window) regardless of run
 length, unlike the full :class:`~repro.core.results.Results` history.
+
+The live feedback path now flows through :class:`~repro.metrics.
+StreamingMetrics` (which adds latency histograms and queue accounting);
+this standalone collector remains for ad-hoc per-second bookkeeping.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass, field
 from typing import Optional
@@ -45,7 +50,7 @@ class StatisticsCollector:
 
     def record(self, end_time: float, txn_name: str, latency: float,
                status: str) -> None:
-        second = int(end_time)
+        second = math.floor(end_time)  # floor: negative virtual times too
         with self._lock:
             bucket = self._buckets.get(second)
             if bucket is None:
@@ -67,7 +72,7 @@ class StatisticsCollector:
         The current (incomplete) second is excluded so throughput is not
         systematically under-reported mid-second.
         """
-        current = int(now)
+        current = math.floor(now)
         lo = current - int(window)
         with self._lock:
             chosen = [b for s, b in self._buckets.items()

@@ -33,7 +33,7 @@ from ..engine.dbapi import connect
 from ..engine.service import DbmsPersonality, LoadTracker, get_personality
 from ..errors import ConfigurationError, Error, TransactionAborted
 from ..rand import make_rng
-from .manager import WorkloadManager
+from .manager import STATE_CREATED, WorkloadManager
 from .requestqueue import Request
 from .results import (LatencySample, STATUS_ABORTED, STATUS_ERROR, STATUS_OK)
 
@@ -73,18 +73,38 @@ class ThreadedExecutor:
         self._workloads: list[tuple[WorkloadManager, int]] = []
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
+        #: Report of the most recent :meth:`run`, including any worker
+        #: threads that failed to join (a leak the caller must see).
+        self.last_run_report: dict[str, object] = {}
 
     def add_workload(self, manager: WorkloadManager,
                      workers: Optional[int] = None) -> WorkloadManager:
         self._workloads.append((manager, workers or manager.config.workers))
         return manager
 
-    def run(self, timeout: Optional[float] = None) -> None:
-        """Execute all workloads to phase completion (or ``timeout``)."""
+    def run(self, timeout: Optional[float] = None) -> dict[str, object]:
+        """Execute all pending workloads to phase completion (or timeout).
+
+        Each call runs the workloads added since construction that have
+        not started yet, with a fresh thread list and stop flag — an
+        executor can therefore be reused across successive runs without
+        accumulating dead (or worse, leaked-but-alive) worker threads.
+        Returns a run report; ``report["leaked_threads"]`` names workers
+        that missed the join deadline and ``report["error"]`` is set when
+        any did.
+        """
         if not self._workloads:
             raise ConfigurationError("no workloads added")
+        runnable = [(manager, count) for manager, count in self._workloads
+                    if manager.state == STATE_CREATED]
+        if not runnable:
+            raise ConfigurationError(
+                "no runnable workloads: every added workload already ran "
+                "(add_workload a fresh manager before calling run again)")
+        self._stop = threading.Event()
+        self._threads = []
         pacers = []
-        for manager, worker_count in self._workloads:
+        for manager, worker_count in runnable:
             manager.begin_run(self.clock.now())
             for worker_id in range(worker_count):
                 thread = threading.Thread(
@@ -106,6 +126,20 @@ class ThreadedExecutor:
         self.stop()
         for thread in self._threads:
             thread.join(timeout=2.0)
+        leaked = [thread.name for thread in self._threads
+                  if thread.is_alive()]
+        report: dict[str, object] = {
+            "workloads": len(runnable),
+            "worker_threads": len(self._threads),
+            "leaked_threads": leaked,
+            "ok": not leaked,
+        }
+        if leaked:
+            report["error"] = (
+                f"{len(leaked)} worker thread(s) still alive after the "
+                f"2s join deadline: {leaked}")
+        self.last_run_report = report
+        return report
 
     def stop(self) -> None:
         self._stop.set()

@@ -26,7 +26,6 @@ from ..clock import Clock, RealClock
 from ..errors import ConfigurationError
 from ..rand import DiscreteDistribution, make_rng
 from .benchmark import BenchmarkModule
-from .collector import StatisticsCollector
 from .config import WorkloadConfiguration
 from .phase import Phase, RATE_DISABLED, RATE_UNLIMITED
 from .rates import ArrivalSchedule
@@ -55,7 +54,6 @@ class WorkloadManager:
         self.clock = clock or RealClock()
         self.queue = RequestQueue(clock=self.clock, policy=queue_policy)
         self.results = results or Results()
-        self.collector = StatisticsCollector()
         self.tenant = config.tenant
 
         self._lock = threading.RLock()
@@ -125,12 +123,23 @@ class WorkloadManager:
         self._notify()
 
     def _enter_phase(self, index: int, started_at: float) -> None:
+        previous_rate = self.current_rate() if self._phase_index >= 0 \
+            else None
         self._phase_index = index
         self._phase_started_at = started_at
         self._rate_override = None
         self._weights_override = None
         self._think_override = None
         self._active_workers_override = None
+        if (previous_rate is not None
+                and self.current_phase.rate != previous_rate
+                and self.queue.policy == POLICY_CAP):
+            # A rate-changing transition invalidates the old rate's
+            # pending arrivals; shed them *and* count them, so
+            # offered == taken + postponed + depth holds across phases.
+            dropped = self.queue.clear()
+            if dropped:
+                self.results.record_postponed(dropped)
         self._rebuild_schedule()
         self._rebuild_mixture()
 
@@ -306,8 +315,6 @@ class WorkloadManager:
 
     def record(self, sample: LatencySample) -> None:
         self.results.record(sample)
-        self.collector.record(sample.end, sample.txn_name, sample.latency,
-                              sample.status)
 
     # ------------------------------------------------------------------
     # status (REST API feedback, paper §2.2.4)
@@ -317,7 +324,7 @@ class WorkloadManager:
                window: float = 5.0) -> dict[str, object]:
         if now is None:
             now = self.clock.now()
-        instantaneous = self.collector.instantaneous(now, window)
+        instantaneous = self.results.metrics.instantaneous(now, window)
         with self._lock:
             return {
                 "benchmark": self.benchmark.name,
@@ -336,3 +343,25 @@ class WorkloadManager:
                 "avg_latency": instantaneous["avg_latency"],
                 "per_txn": instantaneous["per_txn"],
             }
+
+    def metrics(self, now: Optional[float] = None,
+                window: float = 5.0) -> dict[str, object]:
+        """The full streaming-metrics payload (``GET .../metrics``).
+
+        Sliding-window throughput, per-transaction-type latency
+        quantiles, and the queue's offered/taken/postponed accounting —
+        all O(bins)/O(window); the raw sample list is never touched.
+        """
+        if now is None:
+            now = self.clock.now()
+        snapshot = self.results.metrics.snapshot(
+            now, window, queue=self.queue.counters())
+        with self._lock:
+            snapshot.update({
+                "benchmark": self.benchmark.name,
+                "tenant": self.tenant,
+                "state": self._state,
+                "paused": self._paused,
+                "elapsed": max(0.0, now - self._run_started_at),
+            })
+        return snapshot

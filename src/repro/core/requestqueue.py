@@ -88,11 +88,31 @@ class RequestQueue:
             return shed
 
     def clear(self) -> int:
-        """Drop all pending requests (phase transition with rate change)."""
+        """Drop all pending requests (phase transition with rate change).
+
+        The dropped requests were offered but will never be delivered, so
+        they count as postponed — otherwise offered/taken/postponed
+        accounting silently drifts on every rate-changing transition.
+        Blocked :meth:`take` callers are woken so they re-check state
+        instead of sleeping until a cleared request's arrival time.
+        """
         with self._not_empty:
             dropped = len(self._queue)
             self._queue.clear()
+            self.postponed += dropped
+            if dropped:
+                self._not_empty.notify_all()
             return dropped
+
+    def counters(self) -> dict[str, int]:
+        """Consistent snapshot of the requested-vs-delivered accounting."""
+        with self._mutex:
+            return {
+                "offered": self.offered,
+                "taken": self.taken,
+                "postponed": self.postponed,
+                "depth": len(self._queue),
+            }
 
     # -- consumer side (workers) -----------------------------------------------
 

@@ -5,6 +5,12 @@ Every executed request yields one :class:`LatencySample`.  The
 reports: throughput over windows, latency percentiles per transaction type,
 and abort/error breakdowns.  The trace analyzer (``repro.trace``) consumes
 the same samples for time-series views.
+
+Each sample is also fed exactly once into a
+:class:`~repro.metrics.StreamingMetrics` (``results.metrics``), which the
+control-API feedback path queries in O(bins) instead of rescanning this
+list.  The batch aggregate views below remain the ground truth the
+streaming layer is tested against.
 """
 
 from __future__ import annotations
@@ -13,6 +19,8 @@ import math
 import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
+
+from ..metrics import StreamingMetrics
 
 STATUS_OK = "ok"
 STATUS_ABORTED = "aborted"
@@ -51,18 +59,28 @@ class LatencySample:
 class Results:
     """Thread-safe accumulator of latency samples."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[StreamingMetrics] = None) -> None:
         self._lock = threading.Lock()
         self._samples: list[LatencySample] = []
-        self.postponed = 0  # requests the queue shed to hold the rate cap
+        self._postponed = 0  # requests the queue shed to hold the rate cap
+        self.metrics = metrics or StreamingMetrics()
 
     def record(self, sample: LatencySample) -> None:
         with self._lock:
             self._samples.append(sample)
+        self.metrics.observe(sample.end, sample.txn_name, sample.latency,
+                             sample.status)
 
     def record_postponed(self, count: int = 1) -> None:
         with self._lock:
-            self.postponed += count
+            self._postponed += count
+        self.metrics.record_postponed(count)
+
+    @property
+    def postponed(self) -> int:
+        """Shed-request count, read under this result's lock."""
+        with self._lock:
+            return self._postponed
 
     def samples(self) -> list[LatencySample]:
         with self._lock:
@@ -116,7 +134,10 @@ class Results:
         buckets: dict[int, int] = {}
         for sample in self.samples():
             if sample.status == STATUS_OK:
-                second = int(sample.end)
+                # floor, not int(): int() truncates toward zero, so a
+                # sample ending at virtual time -0.5 would land in
+                # second 0 instead of -1.
+                second = math.floor(sample.end)
                 buckets[second] = buckets.get(second, 0) + 1
         return sorted(buckets.items())
 
@@ -176,10 +197,16 @@ def percentile(sorted_values: list[float], pct: float) -> float:
 
 
 def merge(results: Iterable[Results]) -> Results:
-    """Combine several Results containers (e.g. multi-tenant runs)."""
+    """Combine several Results containers (e.g. multi-tenant runs).
+
+    ``samples()`` and the ``postponed`` property both read under the
+    source result's lock, so merging is safe against concurrent
+    recording; replaying through ``record()`` rebuilds the merged
+    streaming metrics as a side effect.
+    """
     merged = Results()
     for result in results:
         for sample in result.samples():
             merged.record(sample)
-        merged.postponed += result.postponed
+        merged.record_postponed(result.postponed)
     return merged

@@ -99,7 +99,19 @@ class BenchmarkError(ReproError):
 
 
 class ApiError(ReproError):
-    """Control-API request failed."""
+    """Control-API request failed (HTTP 400 for malformed requests)."""
+
+
+class ApiNotFound(ApiError):
+    """Unknown route or unregistered tenant (HTTP 404)."""
+
+
+class ApiMethodNotAllowed(ApiError):
+    """The path exists but not for this HTTP method (HTTP 405)."""
+
+    def __init__(self, message: str, allowed: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.allowed = allowed
 
 
 class GameOverError(ReproError):

@@ -1,0 +1,202 @@
+"""Streaming aggregation: consume each sample once, answer in O(bins).
+
+:class:`StreamingMetrics` is the tentpole of the control-API feedback
+path.  ``Results.record()`` feeds every :class:`LatencySample` through
+:meth:`observe` exactly once at record time; after that, *no* feedback
+query — sliding-window throughput, per-transaction-type latency
+quantiles, abort/error rates — ever rescans the raw sample list.  The
+raw list stays in ``Results`` solely for the trace analyzer and the
+post-run report.
+
+Three streaming structures, one lock:
+
+* a :class:`~repro.metrics.window.ThroughputWindow` ring of per-second
+  committed/aborted/error counters (sliding-window throughput, exact);
+* one :class:`~repro.metrics.histogram.LatencyHistogram` per transaction
+  type plus a run-wide one (quantiles within bin tolerance, exact
+  min/max/avg);
+* offered/taken/postponed counters snapshotted from the request queue
+  (requested-vs-delivered accounting, paper §2.2.1).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping, Optional
+
+from .histogram import LatencyHistogram, make_histogram
+from .window import ThroughputWindow
+
+_OK = "ok"
+_ABORTED = "aborted"
+
+#: Key under which the run-wide (all transaction types) histogram is
+#: reported by :meth:`StreamingMetrics.snapshot`.
+TOTAL_KEY = "total"
+
+
+class StreamingMetrics:
+    """Thread-safe streaming view over one workload's samples."""
+
+    def __init__(self, history_seconds: int = 3600,
+                 template: Optional[LatencyHistogram] = None) -> None:
+        self._lock = threading.Lock()
+        self._template = template or LatencyHistogram()
+        self.window = ThroughputWindow(history_seconds)
+        self._total = make_histogram(self._template)
+        self._per_txn: dict[str, LatencyHistogram] = {}
+        self._counts: dict[str, list] = {}  # name -> [ok, aborted, error]
+        self._committed = 0
+        self._aborted = 0
+        self._errors = 0
+        self._postponed = 0
+        self._queue: dict[str, int] = {}
+
+    # -- ingest (one call per sample, O(1)) ---------------------------------
+
+    def observe(self, end: float, txn_name: str, latency: float,
+                status: str) -> None:
+        with self._lock:
+            self.window.record(end, txn_name, latency, status)
+            entry = self._counts.get(txn_name)
+            if entry is None:
+                entry = self._counts[txn_name] = [0, 0, 0]
+            if status == _OK:
+                entry[0] += 1
+                self._committed += 1
+                histogram = self._per_txn.get(txn_name)
+                if histogram is None:
+                    histogram = self._per_txn[txn_name] = \
+                        make_histogram(self._template)
+                histogram.record(latency)
+                self._total.record(latency)
+            elif status == _ABORTED:
+                entry[1] += 1
+                self._aborted += 1
+            else:
+                entry[2] += 1
+                self._errors += 1
+
+    def record_postponed(self, count: int = 1) -> None:
+        with self._lock:
+            self._postponed += count
+
+    def observe_queue(self, counters: Mapping[str, int]) -> None:
+        """Snapshot the request queue's offered/taken/postponed/depth."""
+        with self._lock:
+            self._queue = dict(counters)
+
+    # -- feedback queries (O(bins), never O(samples)) -----------------------
+
+    def committed(self) -> int:
+        with self._lock:
+            return self._committed
+
+    def postponed(self) -> int:
+        with self._lock:
+            return self._postponed
+
+    def instantaneous(self, now: float, window: float = 5.0) -> dict:
+        """Sliding-window throughput and per-type average latency.
+
+        Shape-compatible with the legacy ``StatisticsCollector``: the
+        current (incomplete) second is excluded.
+        """
+        with self._lock:
+            stats = self.window.window_stats(now, window)
+        return {
+            "throughput": stats["throughput"],
+            "aborts_per_sec": stats["aborts_per_sec"],
+            "avg_latency": stats["avg_latency"],
+            "per_txn": stats["per_txn"],
+        }
+
+    def throughput_series(self, start: Optional[int] = None,
+                          end: Optional[int] = None
+                          ) -> list[tuple[int, int]]:
+        with self._lock:
+            return self.window.series(start, end)
+
+    def series_complete(self) -> bool:
+        with self._lock:
+            return self.window.complete()
+
+    def latency_percentiles(self, txn_name: Optional[str] = None
+                            ) -> dict[str, float]:
+        """Binned quantiles for one type (or the whole run)."""
+        with self._lock:
+            histogram = (self._total if txn_name is None
+                         else self._per_txn.get(txn_name))
+            if histogram is None:
+                return {}
+            return histogram.percentiles()
+
+    def txn_counts(self) -> dict[str, dict[str, int]]:
+        with self._lock:
+            return {name: {"committed": ok, "aborted": aborted,
+                           "errors": errors}
+                    for name, (ok, aborted, errors)
+                    in sorted(self._counts.items())}
+
+    def snapshot(self, now: float, window: float = 5.0,
+                 queue: Optional[Mapping[str, int]] = None) -> dict:
+        """The full metrics payload served by ``GET .../metrics``."""
+        if queue is not None:
+            self.observe_queue(queue)
+        with self._lock:
+            stats = self.window.window_stats(now, window)
+            latency = {TOTAL_KEY: self._total.snapshot()}
+            for name, histogram in sorted(self._per_txn.items()):
+                latency[name] = histogram.snapshot()
+            per_txn_counts = {
+                name: {"committed": ok, "aborted": aborted,
+                       "errors": errors}
+                for name, (ok, aborted, errors)
+                in sorted(self._counts.items())}
+            return {
+                "window": {
+                    "seconds": stats["seconds"],
+                    "throughput": stats["throughput"],
+                    "aborts_per_sec": stats["aborts_per_sec"],
+                    "errors_per_sec": stats["errors_per_sec"],
+                    "avg_latency": stats["avg_latency"],
+                    "per_txn": stats["per_txn"],
+                },
+                "totals": {
+                    "committed": self._committed,
+                    "aborted": self._aborted,
+                    "errors": self._errors,
+                    "postponed": self._postponed,
+                    "per_txn": per_txn_counts,
+                },
+                "latency": latency,
+                "queue": dict(self._queue),
+                "bins": self._template.layout(),
+            }
+
+    def merge(self, other: "StreamingMetrics") -> None:
+        """Fold another tenant's streaming state in, without samples."""
+        with other._lock:
+            window_copy = other.window
+            total_copy = other._total
+            per_txn_copy = dict(other._per_txn)
+            counts_copy = {k: list(v) for k, v in other._counts.items()}
+            committed, aborted = other._committed, other._aborted
+            errors, postponed = other._errors, other._postponed
+        with self._lock:
+            self.window.merge(window_copy)
+            self._total.merge(total_copy)
+            for name, histogram in per_txn_copy.items():
+                mine = self._per_txn.get(name)
+                if mine is None:
+                    mine = self._per_txn[name] = make_histogram(histogram)
+                mine.merge(histogram)
+            for name, (ok, ab, err) in counts_copy.items():
+                entry = self._counts.setdefault(name, [0, 0, 0])
+                entry[0] += ok
+                entry[1] += ab
+                entry[2] += err
+            self._committed += committed
+            self._aborted += aborted
+            self._errors += errors
+            self._postponed += postponed

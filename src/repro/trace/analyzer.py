@@ -43,8 +43,17 @@ class TraceAnalyzer:
 
     def throughput_series(self, start: Optional[int] = None,
                           end: Optional[int] = None) -> list[tuple[int, int]]:
-        """Committed transactions per whole second, gaps filled with 0."""
-        buckets = dict(self.results.per_second_throughput())
+        """Committed transactions per whole second, gaps filled with 0.
+
+        Prefers the streaming per-second counters (identical numbers,
+        O(seconds) instead of O(samples)) while the run still fits the
+        metrics ring; falls back to a full sample rescan otherwise.
+        """
+        metrics = self.results.metrics
+        if metrics.series_complete():
+            buckets = dict(metrics.throughput_series())
+        else:
+            buckets = dict(self.results.per_second_throughput())
         if not buckets:
             return []
         lo = start if start is not None else min(buckets)
@@ -56,7 +65,7 @@ class TraceAnalyzer:
         buckets: dict[int, int] = {}
         for sample in self.results.samples():
             if sample.status == STATUS_OK and sample.txn_name == txn_name:
-                second = int(sample.end)
+                second = math.floor(sample.end)  # match the metrics ring
                 buckets[second] = buckets.get(second, 0) + 1
         return sorted(buckets.items())
 

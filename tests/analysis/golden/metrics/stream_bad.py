@@ -1,0 +1,17 @@
+"""RP007 fixture: a streaming-metrics module that rescans samples."""
+
+
+class LeakyStreamingMetrics:
+    def __init__(self, results):
+        self.results = results
+
+    def throughput(self, window):
+        rows = self.results.samples()  # !RP007
+        return len([s for s in rows if s.status == "ok"]) / window
+
+    def p95(self, results):
+        values = sorted(results.latencies())  # !RP007
+        return values[int(len(values) * 0.95)]
+
+    def raw_peek(self, results):
+        return results._samples[-1]  # !RP007

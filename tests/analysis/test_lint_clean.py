@@ -42,7 +42,8 @@ def test_cli_lint_json_format(tmp_path, capsys):
 def test_cli_lint_explain_lists_all_rules(capsys):
     assert main(["lint", "--explain"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("RP001", "RP002", "RP003", "RP004", "RP005", "RP006"):
+    for rule_id in ("RP001", "RP002", "RP003", "RP004", "RP005", "RP006",
+                    "RP007"):
         assert rule_id in out
 
 

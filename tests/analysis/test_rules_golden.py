@@ -25,6 +25,7 @@ FIXTURES = {
     "RP004": GOLDEN / "benchmarks" / "fake" / "procedures.py",
     "RP005": GOLDEN / "rp005_bad.py",
     "RP006": GOLDEN / "hot" / "executors.py",
+    "RP007": GOLDEN / "metrics" / "stream_bad.py",
 }
 
 

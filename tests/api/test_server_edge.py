@@ -40,17 +40,57 @@ def raw_request(server, method, path, body=None):
 
 
 @pytest.mark.slow
-def test_unknown_get_route_is_400(server):
+def test_unknown_get_route_is_404(server):
     status, data = raw_request(server, "GET", "/nonsense")
-    assert status == 400
+    assert status == 404
     assert data["ok"] is False
 
 
 @pytest.mark.slow
-def test_unknown_post_action_is_400(server):
+def test_unknown_post_action_is_404(server):
     status, _data = raw_request(server, "POST", "/workloads/t1/explode",
                                 {})
-    assert status == 400
+    assert status == 404
+
+
+@pytest.mark.slow
+def test_post_to_get_only_route_is_405(server):
+    for path in ("/status", "/metrics", "/benchmarks", "/tenants",
+                 "/workloads/t1/status", "/workloads/t1/metrics",
+                 "/workloads/t1/presets"):
+        status, data = raw_request(server, "POST", path, {})
+        assert status == 405, path
+        assert data["ok"] is False
+
+
+@pytest.mark.slow
+def test_get_on_post_only_action_is_405(server):
+    status, _data = raw_request(server, "GET", "/workloads/t1/rate")
+    assert status == 405
+
+
+@pytest.mark.slow
+def test_405_carries_allow_header(server):
+    host, port = server.address
+    conn = HTTPConnection(host, port, timeout=5)
+    conn.request("POST", "/workloads/t1/status")
+    response = conn.getresponse()
+    assert response.status == 405
+    assert "GET" in (response.getheader("Allow") or "")
+    response.read()
+    conn.close()
+
+
+@pytest.mark.slow
+def test_unsupported_method_is_405_on_known_path(server):
+    status, _data = raw_request(server, "PUT", "/workloads/t1/rate", {})
+    assert status == 405
+
+
+@pytest.mark.slow
+def test_unsupported_method_is_404_on_unknown_path(server):
+    status, _data = raw_request(server, "DELETE", "/no/such/path")
+    assert status == 404
 
 
 @pytest.mark.slow
@@ -72,10 +112,42 @@ def test_missing_body_fields_rejected(server):
 
 
 @pytest.mark.slow
-def test_unknown_tenant_in_path(server):
-    status, data = raw_request(server, "GET", "/workloads/ghost/status")
+def test_unknown_tenant_in_path_is_404(server):
+    for path in ("/workloads/ghost/status", "/workloads/ghost/metrics"):
+        status, data = raw_request(server, "GET", path)
+        assert status == 404, path
+        assert "ghost" in data["error"]
+
+
+@pytest.mark.slow
+def test_metrics_route_round_trip(server):
+    status, data = raw_request(server, "GET", "/workloads/t1/metrics")
+    assert status == 200
+    assert data["tenant"] == "t1"
+    assert "throughput" in data["window"]
+    assert "total" in data["latency"]
+    assert {"offered", "taken", "postponed", "depth"} <= set(data["queue"])
+    status, data = raw_request(server, "GET", "/metrics")
+    assert status == 200
+    assert "t1" in data
+
+
+@pytest.mark.slow
+def test_metrics_window_param(server):
+    status, data = raw_request(server, "GET",
+                               "/workloads/t1/metrics?window=2")
+    assert status == 200
+    assert data["window"]["seconds"] == 2
+
+
+@pytest.mark.slow
+def test_bad_window_param_is_400(server):
+    status, _data = raw_request(server, "GET",
+                                "/workloads/t1/metrics?window=soon")
     assert status == 400
-    assert "ghost" in data["error"]
+    status, _data = raw_request(server, "GET",
+                                "/workloads/t1/metrics?window=-1")
+    assert status == 400
 
 
 @pytest.mark.slow

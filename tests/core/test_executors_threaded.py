@@ -98,3 +98,46 @@ def test_threaded_stop_interrupts_run(db):
 def test_run_without_workloads_rejected(db):
     with pytest.raises(ConfigurationError):
         ThreadedExecutor(db).run()
+
+
+@pytest.mark.slow
+def test_threaded_executor_reusable_across_runs(db):
+    """Successive run() calls start fresh threads, not accumulated ones."""
+    bench = MiniBenchmark(db, seed=42)
+    bench.load()
+    executor = ThreadedExecutor(db)
+
+    def add(seed):
+        cfg = WorkloadConfiguration(
+            benchmark="mini", workers=2, seed=seed,
+            phases=[Phase(duration=1, rate=50)])
+        return executor.add_workload(WorkloadManager(bench, cfg))
+
+    first = add(1)
+    report1 = executor.run(timeout=10)
+    assert report1["ok"] and report1["leaked_threads"] == []
+    assert report1["workloads"] == 1
+    assert report1["worker_threads"] == 2
+    assert first.finished
+
+    second = add(2)
+    report2 = executor.run(timeout=10)
+    # Only the fresh manager's workers: no accumulation from run one.
+    assert report2["workloads"] == 1
+    assert report2["worker_threads"] == 2
+    assert report2["leaked_threads"] == []
+    assert second.finished
+    assert executor.last_run_report is report2
+    assert len(executor._threads) == 2  # reset per run, not appended
+
+
+def test_run_again_without_fresh_workload_rejected(db):
+    bench = MiniBenchmark(db, seed=42)
+    bench.load()
+    cfg = WorkloadConfiguration(benchmark="mini", workers=1, seed=1,
+                                phases=[Phase(duration=0.2, rate=20)])
+    executor = ThreadedExecutor(db)
+    executor.add_workload(WorkloadManager(bench, cfg))
+    executor.run(timeout=10)
+    with pytest.raises(ConfigurationError):
+        executor.run(timeout=10)  # every added workload already ran

@@ -131,3 +131,75 @@ def test_next_arrival():
     assert queue.next_arrival() is None
     queue.offer_batch([3.5])
     assert queue.next_arrival() == 3.5
+
+
+def test_clear_counts_dropped_as_postponed():
+    """Cleared requests were offered but never delivered: postponed."""
+    queue = RequestQueue(clock=SimClock())
+    queue.offer_batch([0.0, 0.1, 0.2])
+    assert queue.clear() == 3
+    assert queue.postponed == 3
+    assert queue.clear() == 0  # idempotent, no double counting
+    assert queue.postponed == 3
+
+
+def test_counters_invariant_across_mid_run_clear():
+    """offered == taken + postponed + depth survives a clear()."""
+    queue = RequestQueue(clock=SimClock(), policy=POLICY_CAP)
+    queue.offer_batch([0.0, 0.1, 0.2, 0.3])
+    queue.poll(1.0)
+    queue.poll(1.0)
+    queue.clear()  # rate-changing phase transition
+    queue.offer_batch([1.0, 1.1])
+    queue.poll(2.0)
+    counters = queue.counters()
+    assert counters == {"offered": 6, "taken": 3, "postponed": 2,
+                        "depth": 1}
+    assert counters["offered"] == counters["taken"] \
+        + counters["postponed"] + counters["depth"]
+
+
+def test_counters_invariant_with_cap_shedding():
+    queue = RequestQueue(clock=SimClock(), policy=POLICY_CAP)
+    queue.offer_batch([0.0, 0.5])
+    queue.offer_batch([1.0, 1.5])  # sheds the stale pair
+    queue.poll(2.0)
+    counters = queue.counters()
+    assert counters["offered"] == counters["taken"] \
+        + counters["postponed"] + counters["depth"]
+
+
+def test_clear_wakes_blocked_take():
+    """A taker sleeping until a cleared request's arrival re-checks.
+
+    White-box: record the condition waits.  The taker first waits for
+    the (far-future) head arrival; after clear() it must wake and fall
+    back to an indefinite wait instead of sleeping out the stale
+    arrival, then exit promptly on shutdown.
+    """
+    queue = RequestQueue()  # real clock
+    waits = []
+    original_wait = queue._not_empty.wait
+
+    def recording_wait(timeout=None):
+        waits.append(timeout)
+        return original_wait(timeout)
+
+    queue._not_empty.wait = recording_wait
+    queue.offer_batch([queue.clock.now() + 30.0])
+    result = {}
+
+    def taker():
+        result["request"] = queue.take()
+
+    thread = threading.Thread(target=taker, daemon=True)
+    thread.start()
+    time.sleep(0.1)
+    assert waits and waits[0] > 1.0  # parked until the stale arrival
+    assert queue.clear() == 1
+    time.sleep(0.1)
+    assert waits[-1] is None  # re-checked: no arrival left to wait for
+    queue.shutdown()
+    thread.join(2.0)
+    assert not thread.is_alive()
+    assert result["request"] is None

@@ -119,3 +119,40 @@ def test_thread_safety_smoke():
     for t in threads:
         t.join()
     assert len(results) == 2000
+
+
+def test_negative_virtual_end_buckets_with_floor():
+    """A sample ending at -0.55 belongs to second -1, not 0."""
+    results = Results()
+    results.record(sample(start=-0.6, latency=0.05))
+    assert results.per_second_throughput() == [(-1, 1)]
+
+
+def test_postponed_property_is_locked_accessor():
+    results = Results()
+    results.record_postponed(2)
+    assert results.postponed == 2
+    assert results.metrics.postponed() == 2  # mirrored into streaming
+
+
+def test_merge_sums_postponed_and_rebuilds_metrics():
+    a, b = Results(), Results()
+    a.record(sample("A", start=1.0))
+    a.record_postponed(1)
+    b.record(sample("B", start=2.0))
+    b.record_postponed(4)
+    merged = merge([a, b])
+    assert merged.postponed == 5
+    # Streaming state is rebuilt from the replayed samples.
+    assert merged.metrics.committed() == 2
+    assert merged.metrics.postponed() == 5
+    assert merged.metrics.throughput_series() == [(1, 1), (2, 1)]
+
+
+def test_record_feeds_streaming_metrics_once():
+    results = Results()
+    for i in range(10):
+        results.record(sample(start=float(i)))
+    snap = results.metrics.snapshot(10.0, 10.0)
+    assert snap["totals"]["committed"] == 10
+    assert snap["window"]["throughput"] == pytest.approx(1.0)

@@ -1,0 +1,192 @@
+"""StreamingMetrics end-to-end: equivalence with the batch paths."""
+
+import threading
+
+import pytest
+
+from repro.core.collector import StatisticsCollector
+from repro.core.results import (LatencySample, Results, STATUS_ABORTED,
+                                STATUS_ERROR, STATUS_OK)
+from repro.metrics import StreamingMetrics, TOTAL_KEY
+
+
+def simulated_run(n=2000):
+    """A deterministic multi-type run: ~100 tps for ~20 s, with a tail."""
+    samples = []
+    for i in range(n):
+        start = i / 100.0
+        latency = 0.002 + ((i * 31) % 89) / 89.0 * 0.03
+        if i % 83 == 0:
+            latency *= 15.0
+        if i % 41 == 0:
+            status = STATUS_ABORTED
+        elif i % 311 == 0:
+            status = STATUS_ERROR
+        else:
+            status = STATUS_OK
+        samples.append(LatencySample(
+            ("NewOrder", "Payment", "StockLevel")[i % 3], start, 0.001,
+            latency, status))
+    return samples
+
+
+@pytest.fixture()
+def recorded():
+    """The same run fed through Results (which feeds its metrics)."""
+    results = Results()
+    for sample in simulated_run():
+        results.record(sample)
+    return results
+
+
+def test_results_owns_streaming_metrics(recorded):
+    assert isinstance(recorded.metrics, StreamingMetrics)
+    assert recorded.metrics.committed() == recorded.committed()
+
+
+def test_windowed_throughput_exact_vs_batch(recorded):
+    now = 20.0
+    for w in (1.0, 5.0, 10.0):
+        snap = recorded.metrics.snapshot(now, w)
+        assert snap["window"]["throughput"] == pytest.approx(
+            recorded.throughput(window=(now - w, now)))
+
+
+def test_quantiles_within_bin_tolerance_vs_batch(recorded):
+    """The documented contract, checked against the order statistics.
+
+    The batch path interpolates linearly between the two sorted values
+    bounding the rank; with a sparse tail those can be more than one bin
+    apart, so the bin tolerance is guaranteed relative to that bounding
+    pair, not to the interpolated point inside the gap.
+    """
+    import math
+
+    tolerance = recorded.metrics.snapshot(20.0)["bins"]["relative_error"]
+    for name in [None] + recorded.txn_names():
+        exact = recorded.latency_percentiles(name)
+        binned = recorded.metrics.latency_percentiles(name)
+        assert binned["min"] == exact["min"]
+        assert binned["max"] == exact["max"]
+        assert binned["avg"] == pytest.approx(exact["avg"])
+        values = sorted(recorded.latencies(name))
+        for pct in (25, 50, 75, 90, 95, 99):
+            rank = pct / 100.0 * (len(values) - 1)
+            lo = values[math.floor(rank)] * (1.0 - tolerance)
+            hi = values[math.ceil(rank)] * (1.0 + tolerance)
+            key = f"p{pct}"
+            assert lo <= binned[key] <= hi, \
+                f"{name or 'total'} {key}: {binned[key]} not in " \
+                f"[{lo}, {hi}] (exact {exact[key]})"
+
+
+def test_totals_match_batch_counts(recorded):
+    totals = recorded.metrics.snapshot(20.0)["totals"]
+    assert totals["committed"] == recorded.committed()
+    assert totals["aborted"] == recorded.aborted()
+    assert totals["errors"] == recorded.count(STATUS_ERROR)
+    for name in recorded.txn_names():
+        assert totals["per_txn"][name]["committed"] == \
+            recorded.count(STATUS_OK, name)
+        assert totals["per_txn"][name]["aborted"] == \
+            recorded.count(STATUS_ABORTED, name)
+
+
+def test_latency_section_keyed_by_type_plus_total(recorded):
+    latency = recorded.metrics.snapshot(20.0)["latency"]
+    assert set(latency) == {TOTAL_KEY, *recorded.txn_names()}
+    assert latency[TOTAL_KEY]["count"] == recorded.committed()
+
+
+def test_instantaneous_matches_legacy_collector():
+    """Shape and value parity with the StatisticsCollector it replaced."""
+    collector = StatisticsCollector()
+    metrics = StreamingMetrics()
+    for sample in simulated_run():
+        collector.record(sample.end, sample.txn_name, sample.latency,
+                         sample.status)
+        metrics.observe(sample.end, sample.txn_name, sample.latency,
+                        sample.status)
+    for now, window in ((20.0, 5.0), (20.6, 5.0), (10.0, 3.0)):
+        legacy = collector.instantaneous(now, window)
+        streaming = metrics.instantaneous(now, window)
+        assert set(streaming) == set(legacy)
+        assert streaming["throughput"] == pytest.approx(
+            legacy["throughput"])
+        assert streaming["aborts_per_sec"] == pytest.approx(
+            legacy["aborts_per_sec"])
+        assert streaming["avg_latency"] == pytest.approx(
+            legacy["avg_latency"])
+        for name, entry in legacy["per_txn"].items():
+            assert streaming["per_txn"][name]["throughput"] == \
+                pytest.approx(entry["throughput"])
+            assert streaming["per_txn"][name]["avg_latency"] == \
+                pytest.approx(entry["avg_latency"])
+
+
+def test_throughput_series_matches_collector(recorded):
+    collector = StatisticsCollector()
+    for sample in recorded.samples():
+        collector.record(sample.end, sample.txn_name, sample.latency,
+                         sample.status)
+    assert recorded.metrics.series_complete()
+    assert recorded.metrics.throughput_series() == \
+        collector.throughput_series()
+    assert recorded.metrics.throughput_series() == \
+        recorded.per_second_throughput()
+
+
+def test_queue_counters_surface_in_snapshot():
+    metrics = StreamingMetrics()
+    counters = {"offered": 10, "taken": 7, "postponed": 2, "depth": 1}
+    snap = metrics.snapshot(5.0, queue=counters)
+    assert snap["queue"] == counters
+    # Without a fresh queue argument the last snapshot sticks.
+    assert metrics.snapshot(6.0)["queue"] == counters
+
+
+def test_postponed_counter():
+    metrics = StreamingMetrics()
+    metrics.record_postponed(3)
+    metrics.record_postponed()
+    assert metrics.postponed() == 4
+    assert metrics.snapshot(1.0)["totals"]["postponed"] == 4
+
+
+def test_bins_section_documents_layout():
+    bins = StreamingMetrics().snapshot(0.0)["bins"]
+    assert bins["bins_per_decade"] == 32
+    assert bins["relative_error"] == pytest.approx(10 ** (1 / 32) - 1)
+
+
+def test_merge_folds_tenants_without_samples():
+    a, b = StreamingMetrics(), StreamingMetrics()
+    for i, metrics in enumerate((a, b)):
+        for sample in simulated_run(400):
+            metrics.observe(sample.end + i, sample.txn_name,
+                            sample.latency, sample.status)
+    b.record_postponed(5)
+    before = a.committed()
+    a.merge(b)
+    assert a.committed() == before + b.committed()
+    assert a.postponed() == 5
+    snap = a.snapshot(30.0)
+    assert snap["latency"][TOTAL_KEY]["count"] == a.committed()
+
+
+def test_concurrent_observe_is_safe():
+    metrics = StreamingMetrics()
+
+    def writer(offset):
+        for sample in simulated_run(500):
+            metrics.observe(sample.end + offset, sample.txn_name,
+                            sample.latency, sample.status)
+
+    threads = [threading.Thread(target=writer, args=(k,)) for k in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    expected_ok = sum(1 for s in simulated_run(500)
+                      if s.status == STATUS_OK)
+    assert metrics.committed() == 4 * expected_ok

@@ -1,0 +1,152 @@
+"""Compiled query plans vs. the interpreted executor (ISSUE 3 tentpole).
+
+``Database.prepare_exec`` compiles every SELECT/INSERT/UPDATE/DELETE into
+a :class:`~repro.engine.plan.CompiledPlan` — column references resolved
+to tuple indexes, predicates and projections fused into closures, the
+access path chosen once — and caches it keyed by ``(sql,
+catalog_version)``.  The interpreted executor walks the AST again for
+every row of every statement.
+
+This bench builds *twin* databases — identical schema, identical seeded
+load, one with ``use_compiled_plans=True`` and one with ``False`` — and
+drives each TPC-C and Twitter procedure through both with identical RNG
+streams, so every pair of runs issues byte-identical statements against
+byte-identical data.  It reports per-transaction time and asserts the
+compiled path wins by >=2x on the scan/filter-heavy procedures (the ones
+whose statements touch many rows per execution), and that both paths
+returned exactly the same results row for row.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.benchmarks import create_benchmark
+from repro.core.procedure import UserAbort
+from repro.engine import Database
+from repro.engine.dbapi import connect
+from repro.rand import make_rng
+
+from conftest import SMALL_SIZES, once, report
+
+SEED = 1337
+WARMUP = 3
+
+#: (benchmark, sizes, scale_factor, [(procedure, timed iterations)])
+WORKLOADS = [
+    ("tpcc", SMALL_SIZES["tpcc"], 0.3,
+     [("NewOrder", 30), ("Payment", 40), ("OrderStatus", 40),
+      ("Delivery", 15), ("StockLevel", 25)]),
+    ("twitter", {}, 1.0,
+     [("GetTweet", 120), ("GetTweetsFromFollowing", 60),
+      ("GetFollowers", 60), ("GetUserTweets", 120), ("InsertTweet", 120)]),
+]
+
+#: Procedures whose statements evaluate predicates over many rows per
+#: call — the population the >=2x acceptance floor applies to.  The
+#: PK-point lookups (GetTweet) win less: most of their time is locking
+#: and versioning, which both paths share.
+SCAN_HEAVY = {
+    ("tpcc", "OrderStatus"),       # customer-by-last-name scan + order scan
+    ("tpcc", "StockLevel"),        # order_line x stock join over 20 orders
+    ("tpcc", "Delivery"),          # per-district order_line scans
+    ("twitter", "GetTweetsFromFollowing"),  # follows x tweets join
+    ("twitter", "GetUserTweets"),  # timeline filter + ORDER BY ... LIMIT
+}
+
+SPEEDUP_FLOOR = 2.0
+
+
+def build_twin(name: str, sizes: dict, scale: float):
+    """Identically-seeded (compiled, interpreted) database/bench pairs."""
+    pair = {}
+    for key, compiled in (("compiled", True), ("interpreted", False)):
+        db = Database(use_compiled_plans=compiled)
+        bench = create_benchmark(name, db, scale_factor=scale, seed=SEED,
+                                 **sizes)
+        bench.load()
+        pair[key] = (db, bench)
+    return pair
+
+
+def drive(db, bench, txn_name: str, iters: int):
+    """Run one procedure ``iters`` times; returns (elapsed, results).
+
+    The RNG is seeded from (SEED, benchmark, procedure) only, so the
+    compiled and interpreted twins see the same argument stream and
+    apply the same mutations — the databases stay in lockstep.
+    """
+    proc = bench.make_procedure(txn_name)
+    conn = connect(db)
+    warm_rng = make_rng(SEED, bench.name, txn_name, "warm")
+    for _ in range(WARMUP):
+        _run_once(proc, conn, warm_rng)
+    rng = make_rng(SEED, bench.name, txn_name, "timed")
+    outputs = []
+    started = perf_counter()
+    for _ in range(iters):
+        outputs.append(_run_once(proc, conn, rng))
+    elapsed = perf_counter() - started
+    conn.close()
+    return elapsed, outputs
+
+
+def _run_once(proc, conn, rng):
+    try:
+        return proc.run(conn, rng)
+    except UserAbort:
+        conn.rollback()
+        return "<user-abort>"
+
+
+def run_bench():
+    rows = []
+    mismatches = []
+    cache_notes = []
+    for name, sizes, scale, procedures in WORKLOADS:
+        pair = build_twin(name, sizes, scale)
+        for txn_name, iters in procedures:
+            interp_s, interp_out = drive(*pair["interpreted"],
+                                         txn_name, iters)
+            compiled_s, compiled_out = drive(*pair["compiled"],
+                                             txn_name, iters)
+            if compiled_out != interp_out:
+                mismatches.append((name, txn_name))
+            speedup = interp_s / compiled_s if compiled_s else float("inf")
+            rows.append((
+                f"{name}.{txn_name}",
+                "yes" if (name, txn_name) in SCAN_HEAVY else "",
+                iters,
+                round(interp_s / iters * 1000, 3),
+                round(compiled_s / iters * 1000, 3),
+                round(speedup, 2),
+            ))
+        compiled_db = pair["compiled"][0]
+        stats = compiled_db.cache_stats()["plan_cache"]
+        counters = compiled_db.counters
+        cache_notes.append(
+            f"{name}: plan cache {stats['hits']} hits / "
+            f"{stats['misses']} misses; "
+            f"{counters.plan_executions} plan execs, "
+            f"{counters.interpreted_executions} interpreted")
+    return rows, mismatches, cache_notes
+
+
+def test_compiled_plans_speed_up_scan_heavy_procedures(benchmark):
+    rows, mismatches, cache_notes = once(benchmark, run_bench)
+    report(
+        "Per-transaction cost, interpreted vs compiled plans (warm cache)",
+        ["procedure", "scan-heavy", "iters", "interp ms/txn",
+         "compiled ms/txn", "speedup"],
+        rows,
+        notes="; ".join(cache_notes))
+    # Equivalence oracle: identical RNG streams against identical data
+    # must produce identical procedure outputs on both paths.
+    assert not mismatches, f"result divergence in {mismatches}"
+    # The acceptance floor: >=2x per-transaction speedup on every
+    # scan/filter-heavy procedure.
+    floors = {row[0]: row[5] for row in rows if row[1] == "yes"}
+    slow = {k: v for k, v in floors.items() if v < SPEEDUP_FLOOR}
+    assert not slow, f"scan-heavy procedures under {SPEEDUP_FLOOR}x: {slow}"
+    # And nothing regresses: even point lookups must not get slower.
+    assert all(row[5] >= 1.0 for row in rows), rows

@@ -356,6 +356,7 @@ class WorkloadManager:
             now = self.clock.now()
         snapshot = self.results.metrics.snapshot(
             now, window, queue=self.queue.counters())
+        snapshot["engine"] = self.benchmark.database.cache_stats()
         with self._lock:
             snapshot.update({
                 "benchmark": self.benchmark.name,

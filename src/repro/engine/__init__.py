@@ -12,9 +12,10 @@ Derby) that OLTP-Bench drives over JDBC.  It provides:
 """
 
 from .catalog import Catalog, ColumnDef, IndexDef, TableSchema
-from .database import Database, EngineCounters
+from .database import Database, EngineCounters, PreparedStatement
 from .dbapi import Connection, Cursor, connect
 from .locks import EXCLUSIVE, SHARED, LockManager
+from .plan import LruCache, PlanCache, compile_statement
 from .service import PERSONALITIES, DbmsPersonality, get_personality
 from .storage import TableData, Version
 from .txn import SERIALIZABLE, SNAPSHOT, Transaction, TransactionManager
@@ -22,9 +23,10 @@ from .types import SqlType, compare_values
 
 __all__ = [
     "Catalog", "ColumnDef", "IndexDef", "TableSchema",
-    "Database", "EngineCounters",
+    "Database", "EngineCounters", "PreparedStatement",
     "Connection", "Cursor", "connect",
     "EXCLUSIVE", "SHARED", "LockManager",
+    "LruCache", "PlanCache", "compile_statement",
     "PERSONALITIES", "DbmsPersonality", "get_personality",
     "TableData", "Version",
     "SERIALIZABLE", "SNAPSHOT", "Transaction", "TransactionManager",

@@ -69,20 +69,28 @@ class TableSchema:
 
 
 class Catalog:
-    """All table schemas of one database."""
+    """All table schemas of one database.
+
+    ``version`` increments on every successful schema change (CREATE
+    TABLE, DROP TABLE, CREATE INDEX).  Compiled plans are keyed by
+    ``(sql, version)`` so stale plans die naturally after DDL.
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, TableSchema] = {}
+        self.version = 0
 
     def create_table(self, schema: TableSchema) -> None:
         if schema.name in self._tables:
             raise ProgrammingError(f"table {schema.name!r} already exists")
         self._tables[schema.name] = schema
+        self.version += 1
 
     def drop_table(self, name: str) -> None:
         if name not in self._tables:
             raise ProgrammingError(f"no table named {name!r}")
         del self._tables[name]
+        self.version += 1
 
     def get(self, name: str) -> TableSchema:
         try:
@@ -103,3 +111,4 @@ class Catalog:
         for column in index.columns:
             schema.position(column)  # validates existence
         schema.indexes[index.name] = index
+        self.version += 1

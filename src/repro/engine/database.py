@@ -9,12 +9,13 @@ server plays for OLTP-Bench's JDBC workers.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..errors import ProgrammingError
 from .catalog import Catalog, ColumnDef, IndexDef, TableSchema
 from .executor import Executor, Result
+from .plan import LruCache, PlanCache, Unsupported, compile_statement
 from .sqlparser import ast, parse
 from .storage import TableData
 from .txn import SERIALIZABLE, Transaction, TransactionManager
@@ -31,6 +32,8 @@ class EngineCounters:
     rows_updated: int = 0
     rows_deleted: int = 0
     statements: int = 0
+    plan_executions: int = 0
+    interpreted_executions: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -39,14 +42,36 @@ class EngineCounters:
             "rows_updated": self.rows_updated,
             "rows_deleted": self.rows_deleted,
             "statements": self.statements,
+            "plan_executions": self.plan_executions,
+            "interpreted_executions": self.interpreted_executions,
         }
+
+
+class PreparedStatement:
+    """A parsed statement plus its compiled plan (None = interpret).
+
+    Produced by :meth:`Database.prepare_exec`; the DB-API layer holds
+    one per ``executemany`` call so the parse/plan cost is paid once.
+    """
+
+    __slots__ = ("sql", "stmt", "plan", "is_ddl")
+
+    def __init__(self, sql: str, stmt: ast.Statement, plan: object) -> None:
+        self.sql = sql
+        self.stmt = stmt
+        self.plan = plan
+        self.is_ddl = isinstance(
+            stmt, (ast.CreateTable, ast.CreateIndex, ast.DropTable))
 
 
 class Database:
     """One logical database instance shared by many connections."""
 
     def __init__(self, name: str = "main",
-                 lock_timeout: float = 5.0, clock=None) -> None:
+                 lock_timeout: float = 5.0, clock=None, *,
+                 stmt_cache_size: int = 512,
+                 plan_cache_size: int = 256,
+                 use_compiled_plans: bool = True) -> None:
         self.name = name
         self.catalog = Catalog()
         # ``clock`` (a repro.clock.Clock or monotonic callable) feeds the
@@ -57,8 +82,9 @@ class Database:
         self.counters = EngineCounters()
         self._tables: dict[str, TableData] = {}
         self._executor = Executor(self)
-        self._stmt_cache: dict[str, ast.Statement] = {}
-        self._cache_lock = threading.Lock()
+        self._stmt_cache = LruCache(stmt_cache_size)
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.use_compiled_plans = use_compiled_plans
 
     # -- storage access ----------------------------------------------------
 
@@ -82,27 +108,63 @@ class Database:
     # -- SQL front end -------------------------------------------------------
 
     def prepare(self, sql: str) -> ast.Statement:
-        with self._cache_lock:
-            stmt = self._stmt_cache.get(sql)
-        if stmt is None:
+        hit, stmt = self._stmt_cache.lookup(sql)
+        if not hit:
             stmt = parse(sql)
-            with self._cache_lock:
-                self._stmt_cache[sql] = stmt
+            self._stmt_cache.put(sql, stmt)
         return stmt
+
+    def prepare_exec(self, sql: str) -> PreparedStatement:
+        """Parse and plan ``sql`` once; both steps are cached.
+
+        The plan cache is keyed by ``(sql, catalog_version)``, so plans
+        compiled before a DDL statement can never be served after it.
+        Statements the compiler cannot handle cache a ``None`` plan and
+        run interpreted.
+        """
+        stmt = self.prepare(sql)
+        return PreparedStatement(sql, stmt, self._plan_for(sql, stmt))
+
+    def _plan_for(self, sql: str, stmt: ast.Statement):
+        if not self.use_compiled_plans:
+            return None
+        if not isinstance(stmt, (ast.Select, ast.Insert, ast.Update,
+                                 ast.Delete)):
+            return None
+        key = (sql, self.catalog.version)
+        hit, plan = self.plan_cache.lookup(key)
+        if hit:
+            return plan
+        try:
+            plan = compile_statement(stmt, self.catalog)
+        except Unsupported:
+            plan = None
+        # Semantic ProgrammingErrors propagate uncached: the statement
+        # is broken, not merely uncompilable.
+        self.plan_cache.put(key, plan)
+        return plan
 
     def execute(self, txn: Optional[Transaction], sql: str,
                 params: Sequence[object] = ()) -> Result:
         """Execute ``sql``; DDL runs outside any transaction."""
-        stmt = self.prepare(sql)
+        return self.execute_prepared(txn, self.prepare_exec(sql), params)
+
+    def execute_prepared(self, txn: Optional[Transaction],
+                         prepared: PreparedStatement,
+                         params: Sequence[object] = ()) -> Result:
         self.counters.statements += 1
-        if isinstance(stmt, (ast.CreateTable, ast.CreateIndex, ast.DropTable)):
-            return self._execute_ddl(stmt)
-        if isinstance(stmt, ast.TransactionControl):
+        if prepared.is_ddl:
+            return self._execute_ddl(prepared.stmt)
+        if isinstance(prepared.stmt, ast.TransactionControl):
             raise ProgrammingError(
                 "use the connection's commit()/rollback() methods")
         if txn is None or not txn.active:
             raise ProgrammingError("no active transaction")
-        return self._executor.execute(txn, stmt, params)
+        if prepared.plan is not None:
+            self.counters.plan_executions += 1
+            return self._executor.execute_plan(txn, prepared.plan, params)
+        self.counters.interpreted_executions += 1
+        return self._executor.execute(txn, prepared.stmt, params)
 
     # -- transactions ---------------------------------------------------------
 
@@ -125,6 +187,7 @@ class Database:
     # -- DDL ----------------------------------------------------------------
 
     def _execute_ddl(self, stmt: ast.Statement) -> Result:
+        version_before = self.catalog.version
         with self.latch:
             if isinstance(stmt, ast.CreateTable):
                 self._create_table(stmt)
@@ -132,6 +195,10 @@ class Database:
                 self._create_index(stmt)
             elif isinstance(stmt, ast.DropTable):
                 self._drop_table(stmt)
+        if self.catalog.version != version_before:
+            # The version key already strands old plans; drop them
+            # eagerly so the cache carries no dead entries.
+            self.plan_cache.invalidate_all()
         return Result(rowcount=0)
 
     def _create_table(self, stmt: ast.CreateTable) -> None:
@@ -202,6 +269,14 @@ class Database:
 
     # -- statistics -------------------------------------------------------------
 
+    def cache_stats(self) -> dict[str, object]:
+        """Plan/statement cache health for the monitoring stack."""
+        return {
+            "plan_cache": self.plan_cache.snapshot(),
+            "stmt_cache": self._stmt_cache.snapshot(),
+            "catalog_version": self.catalog.version,
+        }
+
     def stats(self) -> dict[str, object]:
         with self.latch:
             table_stats = {
@@ -213,6 +288,7 @@ class Database:
             "tables": table_stats,
             "counters": self.counters.snapshot(),
             "locks": self.lock_manager.stats.snapshot(),
+            "caches": self.cache_stats(),
             "committed": self.txn_manager.committed,
             "aborted": self.txn_manager.aborted,
         }

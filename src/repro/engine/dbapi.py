@@ -127,18 +127,23 @@ class Connection:
             self._txn = self._db.begin(self.isolation)
         return self._txn
 
+    def _prepare(self, sql: str):
+        self._check_open()
+        return self._db.prepare_exec(sql)
+
     def _execute(self, sql: str, params: Sequence[object]):
         self._check_open()
-        stmt = self._db.prepare(sql)
-        from .sqlparser import ast  # local import avoids a cycle at load time
-        if isinstance(stmt, (ast.CreateTable, ast.CreateIndex, ast.DropTable)):
+        return self._execute_prepared(self._db.prepare_exec(sql), params)
+
+    def _execute_prepared(self, prepared, params: Sequence[object]):
+        if prepared.is_ddl:
             if self._txn is not None and self._txn.active:
                 raise ProgrammingError(
                     "DDL is not allowed inside an open transaction")
-            return self._db.execute(None, sql, params)
+            return self._db.execute_prepared(None, prepared, params)
         txn = self._ensure_txn()
         try:
-            result = self._db.execute(txn, sql, params)
+            result = self._db.execute_prepared(txn, prepared, params)
         except OperationalError:
             # Engine-initiated aborts (deadlock, timeout, serialization)
             # leave the transaction dead; roll back so the next statement
@@ -170,6 +175,35 @@ class Cursor:
         if isinstance(params, (str, bytes)):
             raise ProgrammingError("params must be a sequence, not a string")
         result = self.connection._execute(sql, tuple(params))
+        self._load(result)
+        return self
+
+    def executemany(self, sql: str,
+                    seq_of_params: Sequence[Sequence[object]]) -> "Cursor":
+        """Prepare/plan once, then loop executions over the parameters.
+
+        Per-item transaction semantics are identical to calling
+        :meth:`execute` in a loop (autocommit commits each item;
+        engine aborts roll back); only the per-item parse/plan work
+        is hoisted out.
+        """
+        self._check_open()
+        prepared = self.connection._prepare(sql)
+        total = 0
+        for params in seq_of_params:
+            if isinstance(params, (str, bytes)):
+                raise ProgrammingError(
+                    "params must be a sequence, not a string")
+            self._check_open()
+            result = self.connection._execute_prepared(prepared,
+                                                       tuple(params))
+            self._load(result)
+            if self.rowcount > 0:
+                total += self.rowcount
+        self.rowcount = total
+        return self
+
+    def _load(self, result) -> None:
         self._rows = result.rows
         self._pos = 0
         self.rowcount = result.rowcount
@@ -180,17 +214,6 @@ class Cursor:
             ]
         else:
             self.description = None
-        return self
-
-    def executemany(self, sql: str,
-                    seq_of_params: Sequence[Sequence[object]]) -> "Cursor":
-        total = 0
-        for params in seq_of_params:
-            self.execute(sql, params)
-            if self.rowcount > 0:
-                total += self.rowcount
-        self.rowcount = total
-        return self
 
     # -- fetching -----------------------------------------------------------
 

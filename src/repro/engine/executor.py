@@ -25,6 +25,8 @@ from ..errors import IntegrityError, ProgrammingError
 from .catalog import TableSchema
 from .expr import AGGREGATES, RowContext, evaluate, is_true
 from .locks import EXCLUSIVE, SHARED
+from .plan import (CompiledAggregation, CompiledDelete, CompiledInsert,
+                   CompiledSelect, CompiledSource, CompiledUpdate, LazyAggs)
 from .sqlparser import ast
 from .txn import SERIALIZABLE, Transaction
 
@@ -73,6 +75,296 @@ class Executor:
         if isinstance(stmt, ast.Delete):
             return self._execute_delete(txn, stmt, params)
         raise ProgrammingError(f"executor cannot handle {type(stmt).__name__}")
+
+    def execute_plan(self, txn: Transaction, plan,
+                     params: Sequence[object]) -> Result:
+        """Run a :mod:`repro.engine.plan` compiled plan.
+
+        Same observable semantics as :meth:`execute` on the statement
+        the plan was compiled from — row values/order, errors, locking,
+        and stats counters all match the interpreted path.
+        """
+        if isinstance(plan, CompiledSelect):
+            return self._select_plan(txn, plan, params)
+        if isinstance(plan, CompiledInsert):
+            return self._insert_plan(txn, plan, params)
+        if isinstance(plan, CompiledUpdate):
+            return self._update_plan(txn, plan, params)
+        if isinstance(plan, CompiledDelete):
+            return self._delete_plan(txn, plan, params)
+        raise ProgrammingError(
+            f"executor cannot handle plan {type(plan).__name__}")
+
+    # ------------------------------------------------------------------
+    # compiled-plan runtime
+    # ------------------------------------------------------------------
+
+    def _select_plan(self, txn: Transaction, plan: CompiledSelect,
+                     params: Sequence[object]) -> Result:
+        if plan.scalar:
+            row = plan.project_fn((), params)
+            return Result([row], list(plan.columns), rowcount=1)
+        lock_mode = EXCLUSIVE if plan.for_update else SHARED
+        take_locks = (txn.isolation == SERIALIZABLE
+                      or lock_mode == EXCLUSIVE)
+        sources = plan.sources
+        n_sources = len(sources)
+        rows: list[Optional[tuple]] = [None] * n_sources
+        contexts: list[tuple] = []
+
+        plan_scan = self._plan_scan
+
+        def recurse(level: int) -> None:
+            if level == n_sources:
+                contexts.append(tuple(rows))
+                return
+            source = sources[level]
+            slot = source.slot
+            matched = plan_scan(txn, source, rows, params, lock_mode,
+                                take_locks, count_db_reads=True)
+            for _rowid, values in matched:
+                rows[slot] = values
+                recurse(level + 1)
+            if source.join_kind == "left" and not matched:
+                rows[slot] = None
+                recurse(level + 1)
+            rows[slot] = None
+
+        recurse(0)
+
+        if plan.aggregation is not None:
+            out = self._aggregate_plan(plan.aggregation, contexts, params)
+        else:
+            project = plan.project_fn
+            out = [project(ctx, params) for ctx in contexts]
+            if plan.order_keys:
+                keyed = [
+                    ([_SortKey(key.value(ctx, row, params), key.descending)
+                      for key in plan.order_keys], row)
+                    for ctx, row in zip(contexts, out)]
+                keyed.sort(key=lambda pair: pair[0])
+                out = [row for _, row in keyed]
+        if plan.distinct:
+            out = _distinct(out)
+        out = _apply_plan_limit(out, plan, params)
+        return Result(out, list(plan.columns), rowcount=len(out))
+
+    def _plan_scan(self, txn: Transaction, source: CompiledSource,
+                   rows: list, params: Sequence[object], lock_mode: str,
+                   take_locks: bool, count_db_reads: bool
+                   ) -> list[tuple[int, tuple]]:
+        """Compiled scan: batched visibility read, closure filtering.
+
+        Candidate gathering and all visibility checks happen under a
+        single latch acquisition (the interpreter re-enters the latch
+        per row); the authoritative post-lock re-read per qualifying
+        row is kept, so 2PL semantics are unchanged.  Locks are never
+        acquired while holding the latch.
+        """
+        table = source.table
+        data = self.db.table_data(table)
+        slot = source.slot
+        row_filter = source.filter
+        latch = self.db.latch
+        effective = txn.effective_version
+        with latch:
+            candidates = self._plan_candidates(txn, source, rows, params,
+                                               data)
+            inserted = txn.inserted.get(table)
+            if inserted:
+                candidates |= inserted
+            visible = []
+            append = visible.append
+            for rowid in candidates:
+                version = effective(table, data, rowid)
+                if version is not None and not version.is_tombstone:
+                    append((rowid, version.values))
+        acquire = self.db.lock_manager.acquire
+        stats = txn.stats
+        counters = self.db.counters
+        out: list[tuple[int, tuple]] = []
+        emit = out.append
+        for rowid, values in visible:
+            if row_filter is not None:
+                rows[slot] = values
+                if not row_filter(rows, params):
+                    continue
+            if take_locks:
+                acquire(txn, ("row", table, rowid), lock_mode)
+                # Re-read after a potential wait: the row may have changed.
+                with latch:
+                    version = effective(table, data, rowid)
+                if version is None or version.is_tombstone:
+                    continue
+                # Only re-filter when the wait actually replaced the
+                # version: same tuple object means the predicate's
+                # inputs are unchanged, so its verdict is too.
+                if version.values is not values:
+                    values = version.values
+                    if row_filter is not None:
+                        rows[slot] = values
+                        if not row_filter(rows, params):
+                            continue
+            stats.rows_read += 1
+            emit((rowid, values))
+        if count_db_reads:
+            counters.rows_read += len(out)
+        return out
+
+    def _plan_candidates(self, txn: Transaction, source: CompiledSource,
+                         rows: list, params: Sequence[object],
+                         data) -> set[int]:
+        """Access-path cascade: index probe, PK range unroll, full scan.
+
+        The caller holds the storage latch; key closures are pure, so
+        evaluating them under it is safe (and no locks are taken here).
+        """
+        probe = source.index_probe
+        if probe is not None:
+            try:
+                key = probe.key_fn(rows, params)
+            except ProgrammingError:
+                # Matches the interpreter: an unevaluable probe key
+                # falls through to the next access path.
+                key = None
+            if key is not None:
+                txn.stats.index_lookups += 1
+                return data.index_lookup(probe.index_name, key)
+        if source.pk_range is not None:
+            keys = source.pk_range.resolve(rows, params,
+                                           self.MAX_RANGE_UNROLL)
+            if keys is not None:
+                txn.stats.index_lookups += 1
+                candidates: set[int] = set()
+                for k in keys:
+                    candidates |= data.index_lookup("__pk__", (k,))
+                return candidates
+        txn.stats.full_scans += 1
+        return set(data.all_rowids())
+
+    def _aggregate_plan(self, agg: CompiledAggregation, contexts: list,
+                        params: Sequence[object]) -> list[tuple]:
+        groups: dict[tuple, list] = {}
+        if agg.group_fn is not None:
+            group_fn = agg.group_fn
+            for ctx in contexts:
+                groups.setdefault(group_fn(ctx, params), []).append(ctx)
+        else:
+            groups[()] = contexts  # single global group (may be empty)
+        out_rows: list[tuple] = []
+        order_keys: list[list] = []
+        for group in groups.values():
+            rows0 = group[0] if group else None
+            aggs = LazyAggs(agg.aggs, group, params)
+            if agg.having_fn is not None and not is_true(
+                    agg.having_fn(aggs, rows0, params)):
+                continue
+            row = tuple(fn(aggs, rows0, params) for fn in agg.item_fns)
+            out_rows.append(row)
+            if agg.order_keys:
+                order_keys.append([
+                    _SortKey(key.agg_value(aggs, rows0, row, params),
+                             key.descending)
+                    for key in agg.order_keys])
+        if agg.order_keys:
+            paired = sorted(zip(order_keys, out_rows),
+                            key=lambda pair: pair[0])
+            out_rows = [row for _, row in paired]
+        return out_rows
+
+    def _insert_plan(self, txn: Transaction, plan: CompiledInsert,
+                     params: Sequence[object]) -> Result:
+        schema = plan.schema
+        data = self.db.table_data(plan.table)
+        n_columns = len(schema.columns)
+        inserted = 0
+        for row_fns in plan.row_fns:
+            values: list[object] = [None] * n_columns
+            for position, fn in zip(plan.positions, row_fns):
+                values[position] = fn((), params)
+            for position, default in plan.defaults:
+                values[position] = default
+            for final in plan.finalizers:
+                value = final.coerce(values[final.position])
+                if value is None and final.not_null:
+                    raise IntegrityError(
+                        f"column {final.name!r} of {plan.table!r} "
+                        "is NOT NULL")
+                values[final.position] = value
+            row = tuple(values)
+            if schema.primary_key:
+                key = schema.pk_key(row)
+                if any(v is None for v in key):
+                    raise IntegrityError(
+                        f"NULL in primary key of {plan.table!r}")
+                if txn.isolation == SERIALIZABLE:
+                    self.db.lock_manager.acquire(
+                        txn, ("key", plan.table, key), EXCLUSIVE)
+                if self._visible_pk_exists(txn, plan.table, data, key):
+                    raise IntegrityError(
+                        f"duplicate primary key {key!r} in {plan.table!r}")
+            with self.db.latch:
+                rowid = data.new_rowid()
+            if txn.isolation == SERIALIZABLE:
+                self.db.lock_manager.acquire(
+                    txn, ("row", plan.table, rowid), EXCLUSIVE)
+            txn.buffer_insert(plan.table, rowid, row)
+            self.db.counters.rows_inserted += 1
+            inserted += 1
+        return Result(rowcount=inserted)
+
+    def _update_plan(self, txn: Transaction, plan: CompiledUpdate,
+                     params: Sequence[object]) -> Result:
+        schema = plan.schema
+        data = self.db.table_data(plan.table)
+        rows: list[Optional[tuple]] = [None]
+        # Matches are materialised first (Halloween problem), as interpreted.
+        matches = self._plan_scan(
+            txn, plan.source, rows, params, EXCLUSIVE,
+            take_locks=(txn.isolation == SERIALIZABLE),
+            count_db_reads=False)
+        updated = 0
+        for rowid, old_values in matches:
+            rows[0] = old_values
+            new_values = list(old_values)
+            for assignment in plan.assignments:
+                final = assignment.finalizer
+                value = final.coerce(assignment.value_fn(rows, params))
+                if value is None and final.not_null:
+                    raise IntegrityError(
+                        f"column {final.name!r} of {plan.table!r} "
+                        "is NOT NULL")
+                new_values[final.position] = value
+            new_row = tuple(new_values)
+            if schema.primary_key:
+                old_key = schema.pk_key(old_values)
+                new_key = schema.pk_key(new_row)
+                if new_key != old_key:
+                    if txn.isolation == SERIALIZABLE:
+                        self.db.lock_manager.acquire(
+                            txn, ("key", plan.table, new_key), EXCLUSIVE)
+                    if self._visible_pk_exists(txn, plan.table, data,
+                                               new_key):
+                        raise IntegrityError(
+                            f"duplicate primary key {new_key!r} "
+                            f"in {plan.table!r}")
+            txn.buffer_update(plan.table, rowid, new_row)
+            self.db.counters.rows_updated += 1
+            updated += 1
+        return Result(rowcount=updated)
+
+    def _delete_plan(self, txn: Transaction, plan: CompiledDelete,
+                     params: Sequence[object]) -> Result:
+        rows: list[Optional[tuple]] = [None]
+        deleted = 0
+        for rowid, _values in self._plan_scan(
+                txn, plan.source, rows, params, EXCLUSIVE,
+                take_locks=(txn.isolation == SERIALIZABLE),
+                count_db_reads=False):
+            txn.buffer_delete(plan.table, rowid)
+            self.db.counters.rows_deleted += 1
+            deleted += 1
+        return Result(rowcount=deleted)
 
     # ------------------------------------------------------------------
     # SELECT
@@ -776,6 +1068,23 @@ def _distinct(rows: list[tuple]) -> list[tuple]:
             seen.add(row)
             unique.append(row)
     return unique
+
+
+def _apply_plan_limit(rows: list[tuple], plan: CompiledSelect,
+                      params: Sequence[object]) -> list[tuple]:
+    offset = 0
+    if plan.offset_fn is not None:
+        offset = int(plan.offset_fn((), params))
+        if offset < 0:
+            raise ProgrammingError("OFFSET must be non-negative")
+    if plan.limit_fn is not None:
+        limit = int(plan.limit_fn((), params))
+        if limit < 0:
+            raise ProgrammingError("LIMIT must be non-negative")
+        return rows[offset:offset + limit]
+    if offset:
+        return rows[offset:]
+    return rows
 
 
 def _apply_limit(rows: list[tuple], stmt: ast.Select,

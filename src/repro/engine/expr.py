@@ -111,17 +111,18 @@ def _maybe_negate(value: Optional[bool], negated: bool) -> Optional[bool]:
     return not value
 
 
-def _eval_binary(expr: ast.BinaryOp, ctx: RowContext,
-                 params: Sequence[object]) -> object:
-    op = expr.op
+def apply_binary(op: str, left: object, right: object) -> object:
+    """Apply a binary operator to already-evaluated operands.
+
+    Shared by the tree-walking evaluator and the compiled-plan closures
+    (``repro.engine.plan``) so both paths have identical SQL semantics.
+    Note AND/OR are *eager* over evaluated operands, matching the
+    interpreter (no short-circuit).
+    """
     if op == "and":
-        return _kleene_and(_as_bool(evaluate(expr.left, ctx, params)),
-                           _as_bool(evaluate(expr.right, ctx, params)))
+        return _kleene_and(_as_bool(left), _as_bool(right))
     if op == "or":
-        return _kleene_or(_as_bool(evaluate(expr.left, ctx, params)),
-                          _as_bool(evaluate(expr.right, ctx, params)))
-    left = evaluate(expr.left, ctx, params)
-    right = evaluate(expr.right, ctx, params)
+        return _kleene_or(_as_bool(left), _as_bool(right))
     if op in _COMPARISON:
         return _compare_bool(left, right, op)
     if op == "||":
@@ -135,19 +136,29 @@ def _eval_binary(expr: ast.BinaryOp, ctx: RowContext,
     raise ProgrammingError(f"unknown binary operator {op!r}")
 
 
-def _eval_unary(expr: ast.UnaryOp, ctx: RowContext,
-                params: Sequence[object]) -> object:
-    value = evaluate(expr.operand, ctx, params)
-    if expr.op == "not":
-        value = _as_bool(value)
-        return None if value is None else (not value)
-    if expr.op == "-":
+def apply_unary(op: str, value: object) -> object:
+    """Apply a unary operator to an already-evaluated operand."""
+    if op == "not":
+        as_bool = _as_bool(value)
+        return None if as_bool is None else (not as_bool)
+    if op == "-":
         if value is None:
             return None
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             raise DataError(f"cannot negate {value!r}")
         return -value
-    raise ProgrammingError(f"unknown unary operator {expr.op!r}")
+    raise ProgrammingError(f"unknown unary operator {op!r}")
+
+
+def _eval_binary(expr: ast.BinaryOp, ctx: RowContext,
+                 params: Sequence[object]) -> object:
+    return apply_binary(expr.op, evaluate(expr.left, ctx, params),
+                        evaluate(expr.right, ctx, params))
+
+
+def _eval_unary(expr: ast.UnaryOp, ctx: RowContext,
+                params: Sequence[object]) -> object:
+    return apply_unary(expr.op, evaluate(expr.operand, ctx, params))
 
 
 def _eval_in(expr: ast.InList, ctx: RowContext,
@@ -228,7 +239,17 @@ def _eval_scalar_func(expr: ast.FuncCall, ctx: RowContext,
             f"aggregate {name!r} used outside aggregation context")
     if name not in _SCALAR_FUNCS:
         raise ProgrammingError(f"unknown function {name!r}")
-    args = [evaluate(arg, ctx, params) for arg in expr.args]
+    return apply_scalar_func(
+        name, [evaluate(arg, ctx, params) for arg in expr.args])
+
+
+def apply_scalar_func(name: str, args: list) -> object:
+    """Apply a known scalar function to already-evaluated arguments.
+
+    Shared by the tree-walking evaluator and compiled-plan closures;
+    callers have already validated that ``name`` is in
+    :data:`_SCALAR_FUNCS`.
+    """
     if name == "coalesce":
         for arg in args:
             if arg is not None:

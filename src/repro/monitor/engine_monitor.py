@@ -23,6 +23,10 @@ class MonitorSample:
     lock_wait_time: float
     deadlocks: int
     active_locks: int
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_cache_evictions: int = 0
+    plan_cache_invalidations: int = 0
 
     @property
     def rows_read_per_sec(self) -> float:
@@ -44,6 +48,10 @@ class MonitorSample:
             "lock_wait_time": self.lock_wait_time,
             "deadlocks": self.deadlocks,
             "active_locks": self.active_locks,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "plan_cache_evictions": self.plan_cache_evictions,
+            "plan_cache_invalidations": self.plan_cache_invalidations,
         }
 
 
@@ -65,6 +73,7 @@ class EngineMonitor:
         counters = self.database.counters
         locks = self.database.lock_manager.stats
         txn = self.database.txn_manager
+        plans = self.database.plan_cache
         return {
             "rows_read": counters.rows_read,
             "rows_written": (counters.rows_inserted + counters.rows_updated
@@ -75,6 +84,10 @@ class EngineMonitor:
             "lock_waits": locks.waits,
             "lock_wait_time": locks.wait_time,
             "deadlocks": locks.deadlocks,
+            "plan_cache_hits": plans.hits,
+            "plan_cache_misses": plans.misses,
+            "plan_cache_evictions": plans.evictions,
+            "plan_cache_invalidations": plans.invalidations,
         }
 
     def sample(self, now: float) -> Optional[MonitorSample]:
@@ -99,6 +112,15 @@ class EngineMonitor:
             - previous["lock_wait_time"],
             deadlocks=int(current["deadlocks"] - previous["deadlocks"]),
             active_locks=self.database.lock_manager.active_lock_count(),
+            plan_cache_hits=int(current["plan_cache_hits"]
+                                - previous["plan_cache_hits"]),
+            plan_cache_misses=int(current["plan_cache_misses"]
+                                  - previous["plan_cache_misses"]),
+            plan_cache_evictions=int(current["plan_cache_evictions"]
+                                     - previous["plan_cache_evictions"]),
+            plan_cache_invalidations=int(
+                current["plan_cache_invalidations"]
+                - previous["plan_cache_invalidations"]),
         )
         self.samples.append(sample)
         return sample

@@ -102,6 +102,24 @@ def test_status_feedback_includes_instantaneous_metrics(setup):
     assert status["per_txn"]["Read"]["avg_latency"] > 0
 
 
+def test_metrics_include_engine_cache_stats(setup):
+    control, manager, executor = setup
+    executor.run(until=3.0)
+    payload = control.metrics("t1", now=3.0)
+    engine = payload["engine"]
+    assert engine["plan_cache"]["hits"] > 0
+    assert engine["plan_cache"]["misses"] >= 1
+    assert engine["plan_cache"]["invalidations"] == 0
+    assert engine["stmt_cache"]["size"] >= 1
+    assert engine["catalog_version"] >= 1
+    # DDL invalidates: counters visible through the same payload.
+    db = manager.benchmark.database
+    db.execute(None, "CREATE TABLE extra (x INT PRIMARY KEY)")
+    engine = control.metrics("t1", now=3.0)["engine"]
+    assert engine["plan_cache"]["size"] == 0
+    assert engine["plan_cache"]["invalidations"] >= 1
+
+
 def test_all_status(setup):
     control, _manager, _executor = setup
     statuses = control.all_status(now=0.0)

@@ -127,6 +127,10 @@ def test_metrics_route_round_trip(server):
     assert "throughput" in data["window"]
     assert "total" in data["latency"]
     assert {"offered", "taken", "postponed", "depth"} <= set(data["queue"])
+    engine = data["engine"]
+    assert {"hits", "misses", "evictions", "invalidations"} <= \
+        set(engine["plan_cache"])
+    assert "stmt_cache" in engine and "catalog_version" in engine
     status, data = raw_request(server, "GET", "/metrics")
     assert status == 200
     assert "t1" in data

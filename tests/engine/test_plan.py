@@ -1,0 +1,274 @@
+"""Plan compiler and cache units: keying, invalidation, access paths.
+
+The equivalence of compiled execution against the interpreter is
+covered separately in ``test_plan_equivalence.py``; this file pins the
+planner's own contracts — prepare-time error reporting, cache counter
+accounting, DDL invalidation, and access-path selection.
+"""
+
+import pytest
+
+from repro.engine import Database, LruCache, PlanCache, connect
+from repro.engine.plan import (CompiledSelect, IndexProbe, PkRangeProbe,
+                               compile_statement)
+from repro.errors import ProgrammingError
+
+from ..conftest import execute
+
+
+@pytest.fixture
+def loaded(db):
+    conn = connect(db)
+    execute(conn, "CREATE TABLE t (a INT PRIMARY KEY, b INT, c VARCHAR(8))")
+    execute(conn, "CREATE INDEX idx_b ON t (b)")
+    execute(conn, "INSERT INTO t VALUES (1, 10, 'x'), (2, 20, 'y'), "
+                  "(3, 20, 'z')")
+    conn.commit()
+    yield db, conn
+    conn.close()
+
+
+def plan_of(db, sql) -> CompiledSelect:
+    plan = db.prepare_exec(sql).plan
+    assert plan is not None, f"expected a compiled plan for {sql!r}"
+    return plan
+
+
+# -- prepare-time errors ----------------------------------------------------
+
+
+def test_unknown_column_raises_at_prepare_time(loaded):
+    db, _ = loaded
+    with pytest.raises(ProgrammingError, match="unknown column 'nope'"):
+        db.prepare_exec("SELECT nope FROM t")
+
+
+def test_unknown_table_binding_raises_at_prepare_time(loaded):
+    db, _ = loaded
+    with pytest.raises(ProgrammingError,
+                       match="unknown table binding 'u'"):
+        db.prepare_exec("SELECT u.a FROM t")
+
+
+def test_ambiguous_column_raises_at_prepare_time(loaded):
+    db, _ = loaded
+    with pytest.raises(ProgrammingError, match="ambiguous column 'b'"):
+        db.prepare_exec("SELECT b FROM t t1 JOIN t t2 ON t1.a = t2.a")
+
+
+def test_prepare_time_errors_are_not_cached(loaded):
+    db, _ = loaded
+    before = db.plan_cache.snapshot()["size"]
+    for _ in range(2):
+        with pytest.raises(ProgrammingError):
+            db.prepare_exec("SELECT nope FROM t")
+    assert db.plan_cache.snapshot()["size"] == before
+
+
+def test_execution_still_reports_error_rows_like_interpreter(loaded):
+    db, conn = loaded
+    # The same statement through the cursor: error surfaces to the
+    # caller before any transaction work happens.
+    with pytest.raises(ProgrammingError, match="unknown column"):
+        execute(conn, "SELECT nope FROM t")
+
+
+# -- plan cache keying and counters -----------------------------------------
+
+
+def test_plan_cache_hits_on_repeat_and_misses_on_first(loaded):
+    db, _ = loaded
+    db.plan_cache = PlanCache(8)  # fresh counters
+    db.prepare_exec("SELECT a FROM t WHERE b = ?")
+    db.prepare_exec("SELECT a FROM t WHERE b = ?")
+    stats = db.plan_cache.snapshot()
+    assert stats["misses"] == 1
+    assert stats["hits"] == 1
+    assert stats["size"] == 1
+
+
+def test_ddl_bumps_catalog_version_and_invalidates_plans(loaded):
+    db, conn = loaded
+    version = db.catalog.version
+    db.prepare_exec("SELECT a FROM t")
+    assert db.plan_cache.snapshot()["size"] >= 1
+    execute(conn, "CREATE TABLE other (k INT PRIMARY KEY)")
+    assert db.catalog.version == version + 1
+    stats = db.plan_cache.snapshot()
+    assert stats["size"] == 0
+    assert stats["invalidations"] >= 1
+
+
+def test_plans_recompile_under_new_catalog_version(loaded):
+    db, conn = loaded
+    first = db.prepare_exec("SELECT a FROM t").plan
+    execute(conn, "CREATE INDEX idx_c ON t (c)")
+    second = db.prepare_exec("SELECT a FROM t").plan
+    assert second is not first  # old version's plan cannot be served
+    # And the recompiled plan still executes.
+    assert sorted(execute(conn, "SELECT a FROM t").fetchall()) == \
+        [(1,), (2,), (3,)]
+    conn.commit()
+
+
+def test_noop_ddl_does_not_invalidate(loaded):
+    db, conn = loaded
+    db.prepare_exec("SELECT a FROM t")
+    before = db.plan_cache.snapshot()
+    execute(conn, "CREATE TABLE IF NOT EXISTS t (a INT PRIMARY KEY)")
+    after = db.plan_cache.snapshot()
+    assert after["size"] == before["size"]
+    assert after["invalidations"] == before["invalidations"]
+
+
+def test_plan_cache_eviction_is_counted():
+    db = Database(plan_cache_size=2)
+    conn = connect(db)
+    execute(conn, "CREATE TABLE t (a INT PRIMARY KEY)")
+    for i in range(4):
+        db.prepare_exec(f"SELECT a FROM t WHERE a = {i}")
+    stats = db.plan_cache.snapshot()
+    assert stats["capacity"] == 2
+    assert stats["size"] == 2
+    assert stats["evictions"] == 2
+    conn.close()
+
+
+def test_disabled_compilation_runs_interpreted():
+    plain = Database(use_compiled_plans=False)
+    conn = connect(plain)
+    execute(conn, "CREATE TABLE t (a INT PRIMARY KEY)")
+    execute(conn, "INSERT INTO t VALUES (1)")
+    assert execute(conn, "SELECT a FROM t").fetchall() == [(1,)]
+    conn.commit()
+    counters = plain.counters.snapshot()
+    assert counters["plan_executions"] == 0
+    assert counters["interpreted_executions"] == 2
+    conn.close()
+
+
+def test_compiled_execution_is_counted(loaded):
+    db, conn = loaded
+    before = db.counters.plan_executions
+    execute(conn, "SELECT a FROM t WHERE a = 1")
+    conn.commit()
+    assert db.counters.plan_executions == before + 1
+
+
+# -- statement cache (satellite: bounded LRU) --------------------------------
+
+
+def test_stmt_cache_is_bounded():
+    db = Database(stmt_cache_size=2)
+    for i in range(5):
+        db.prepare(f"SELECT {i}")
+    stats = db.cache_stats()["stmt_cache"]
+    assert stats["size"] == 2
+    assert stats["evictions"] == 3
+
+
+def test_lru_cache_evicts_least_recently_used():
+    cache = LruCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.lookup("a") == (True, 1)  # refresh "a"
+    cache.put("c", 3)                      # evicts "b"
+    assert cache.lookup("b") == (False, None)
+    assert cache.lookup("a") == (True, 1)
+    assert cache.lookup("c") == (True, 3)
+    stats = cache.snapshot()
+    assert stats["hits"] == 3
+    assert stats["misses"] == 1
+    assert stats["evictions"] == 1
+
+
+def test_cache_stats_exposed_via_database_stats(loaded):
+    db, _ = loaded
+    caches = db.stats()["caches"]
+    assert set(caches) == {"plan_cache", "stmt_cache", "catalog_version"}
+    for key in ("size", "capacity", "hits", "misses", "evictions"):
+        assert key in caches["plan_cache"]
+        assert key in caches["stmt_cache"]
+    assert "invalidations" in caches["plan_cache"]
+
+
+# -- access-path selection ---------------------------------------------------
+
+
+def test_pk_equality_uses_the_pk_index(loaded):
+    db, _ = loaded
+    plan = plan_of(db, "SELECT a FROM t WHERE a = ?")
+    source = plan.sources[0]
+    assert isinstance(source.index_probe, IndexProbe)
+    assert source.index_probe.index_name == "__pk__"
+
+
+def test_secondary_index_equality_is_probed(loaded):
+    db, _ = loaded
+    plan = plan_of(db, "SELECT a FROM t WHERE b = ?")
+    source = plan.sources[0]
+    assert isinstance(source.index_probe, IndexProbe)
+    assert source.index_probe.index_name == "idx_b"
+
+
+def test_pk_range_predicate_compiles_a_range_probe(loaded):
+    db, _ = loaded
+    plan = plan_of(db, "SELECT a FROM t WHERE a BETWEEN ? AND ?")
+    source = plan.sources[0]
+    assert source.index_probe is None
+    assert isinstance(source.pk_range, PkRangeProbe)
+
+
+def test_unindexed_predicate_falls_back_to_full_scan(loaded):
+    db, _ = loaded
+    plan = plan_of(db, "SELECT a FROM t WHERE c = ?")
+    source = plan.sources[0]
+    assert source.index_probe is None
+    assert source.pk_range is None
+    assert source.filter is not None
+
+
+def test_scan_stats_reflect_chosen_access_path(loaded):
+    db, conn = loaded
+    execute(conn, "SELECT a FROM t WHERE a = ?", (1,))
+    assert conn.transaction.stats.index_lookups >= 1
+    assert conn.transaction.stats.full_scans == 0
+    conn.commit()
+    execute(conn, "SELECT a FROM t WHERE c = ?", ("x",))
+    assert conn.transaction.stats.full_scans >= 1
+    conn.commit()
+
+
+def test_compile_statement_resolves_join_probe(loaded):
+    db, _ = loaded
+    stmt = db.prepare(
+        "SELECT t1.a FROM t t1 JOIN t t2 ON t2.b = t1.b WHERE t1.a = ?")
+    plan = compile_statement(stmt, db.catalog)
+    inner = plan.sources[1]
+    # The join equality probes idx_b with the outer row's value.
+    assert isinstance(inner.index_probe, IndexProbe)
+    assert inner.index_probe.index_name == "idx_b"
+
+
+# -- executemany fast path (satellite) ---------------------------------------
+
+
+def test_executemany_plans_once(loaded):
+    db, conn = loaded
+    db.plan_cache = PlanCache(8)
+    cur = conn.cursor()
+    cur.executemany("INSERT INTO t VALUES (?, ?, ?)",
+                    [(10, 1, "a"), (11, 2, "b"), (12, 3, "c")])
+    conn.commit()
+    assert cur.rowcount == 3
+    stats = db.plan_cache.snapshot()
+    assert stats["misses"] == 1  # planned exactly once
+    assert execute(conn, "SELECT count(*) FROM t").fetchone() == (6,)
+    conn.commit()
+
+
+def test_executemany_rejects_string_params(loaded):
+    _, conn = loaded
+    cur = conn.cursor()
+    with pytest.raises(ProgrammingError, match="sequence"):
+        cur.executemany("INSERT INTO t VALUES (?, ?, ?)", ["abc"])

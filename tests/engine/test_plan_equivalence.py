@@ -1,0 +1,219 @@
+"""Compiled-vs-interpreted equivalence: the plan layer's oracle.
+
+Every statement here runs through two identically-populated databases —
+one with ``use_compiled_plans=True``, one with ``False`` — and must
+produce the same rows (order-sensitive), the same rowcounts, the same
+column names, and the same error type and message.  Cases concentrate
+on the seams where a compiler drifts from an interpreter: NULL/Kleene
+logic, type coercion in comparisons, join/aggregation structure, and
+runtime access-path fallback.
+"""
+
+import pytest
+
+from repro.engine import Database, connect
+from repro.errors import DatabaseError
+
+SCHEMA = [
+    "CREATE TABLE items (id INT PRIMARY KEY, grp INT, price FLOAT, "
+    "name VARCHAR(16), note VARCHAR(16))",
+    "CREATE INDEX idx_items_grp ON items (grp)",
+    "CREATE TABLE tags (item_id INT, tag VARCHAR(8), "
+    "PRIMARY KEY (item_id, tag))",
+]
+
+ROWS = [
+    (1, 1, 2.5, "ant", None),
+    (2, 1, 7.0, "bee", "buzz"),
+    (3, 2, 1.0, "cat", None),
+    (4, 2, None, "dog", "woof"),
+    (5, None, 9.0, "eel", None),
+]
+
+TAGS = [(1, "red"), (1, "big"), (2, "red"), (4, "old")]
+
+
+def make_pair():
+    pair = []
+    for compiled in (True, False):
+        db = Database(use_compiled_plans=compiled)
+        conn = connect(db)
+        cur = conn.cursor()
+        for ddl in SCHEMA:
+            cur.execute(ddl)
+        cur.executemany("INSERT INTO items VALUES (?, ?, ?, ?, ?)", ROWS)
+        cur.executemany("INSERT INTO tags VALUES (?, ?)", TAGS)
+        conn.commit()
+        pair.append((db, conn))
+    return pair
+
+
+@pytest.fixture
+def pair():
+    made = make_pair()
+    yield made
+    for _db, conn in made:
+        conn.close()
+
+
+def both(pair, sql, params=()):
+    """Run on both paths; assert identical outcome; return the rows."""
+    outcomes = []
+    for db, conn in pair:
+        cur = conn.cursor()
+        try:
+            cur.execute(sql, params)
+            outcomes.append(("ok", cur.fetchall(), cur.rowcount,
+                             cur.description and
+                             [d[0] for d in cur.description]))
+        except DatabaseError as exc:
+            conn.rollback()
+            outcomes.append(("error", type(exc).__name__, str(exc)))
+    compiled, interpreted = outcomes
+    assert compiled == interpreted, (
+        f"paths diverge for {sql!r} {params!r}:\n"
+        f"  compiled:    {compiled}\n  interpreted: {interpreted}")
+    # Sanity: the compiled database really used a compiled plan for DML
+    # and SELECT statements (not a silent fallback).
+    return compiled
+
+
+SELECT_CASES = [
+    ("SELECT id, name FROM items ORDER BY id", ()),
+    # NULL in comparisons: grp IS NULL rows never match = / <> / <.
+    ("SELECT id FROM items WHERE grp = 1 ORDER BY id", ()),
+    ("SELECT id FROM items WHERE grp <> 1 ORDER BY id", ()),
+    ("SELECT id FROM items WHERE grp < 9 ORDER BY id", ()),
+    ("SELECT id FROM items WHERE grp IS NULL", ()),
+    ("SELECT id FROM items WHERE grp IS NOT NULL ORDER BY id", ()),
+    # Kleene AND/OR over NULL operands.
+    ("SELECT id FROM items WHERE grp = 1 OR price > 8 ORDER BY id", ()),
+    ("SELECT id FROM items WHERE grp = 2 AND price > 0.5 ORDER BY id", ()),
+    ("SELECT id FROM items WHERE NOT (grp = 1) ORDER BY id", ()),
+    # NULL propagation through arithmetic and functions.
+    ("SELECT id, price * 2 FROM items ORDER BY id", ()),
+    ("SELECT id, coalesce(note, 'none') FROM items ORDER BY id", ()),
+    ("SELECT id, nullif(grp, 1) FROM items ORDER BY id", ()),
+    ("SELECT upper(name), length(name) FROM items ORDER BY id", ()),
+    # BETWEEN / IN / LIKE, plus their negations with NULLs in range.
+    ("SELECT id FROM items WHERE price BETWEEN 1.0 AND 7.0 ORDER BY id",
+     ()),
+    ("SELECT id FROM items WHERE price NOT BETWEEN 1.0 AND 7.0 "
+     "ORDER BY id", ()),
+    ("SELECT id FROM items WHERE grp IN (1, 2) ORDER BY id", ()),
+    ("SELECT id FROM items WHERE grp NOT IN (1) ORDER BY id", ()),
+    ("SELECT id FROM items WHERE name LIKE '%e%' ORDER BY id", ()),
+    # CASE branches, including no-match-no-default -> NULL.
+    ("SELECT id, CASE WHEN price > 5 THEN 'hi' WHEN price > 1 THEN 'mid' "
+     "END FROM items ORDER BY id", ()),
+    # Parameterised access paths: PK point, PK range, index equality.
+    ("SELECT name FROM items WHERE id = ?", (3,)),
+    ("SELECT id FROM items WHERE id BETWEEN ? AND ? ORDER BY id", (2, 4)),
+    ("SELECT id FROM items WHERE grp = ? ORDER BY id", (2,)),
+    # Non-integer PK range operand: runtime fallback to full scan.
+    ("SELECT id FROM items WHERE id > ? ORDER BY id", (1.5,)),
+    # Joins, including LEFT JOIN missed side producing NULLs.
+    ("SELECT i.id, t.tag FROM items i JOIN tags t ON t.item_id = i.id "
+     "ORDER BY i.id, t.tag", ()),
+    ("SELECT i.id, t.tag FROM items i LEFT JOIN tags t "
+     "ON t.item_id = i.id ORDER BY i.id, t.tag", ()),
+    # Aggregation: empty groups, HAVING, NULL-skipping aggregates.
+    ("SELECT count(*), count(price), sum(price), min(price), max(price) "
+     "FROM items", ()),
+    ("SELECT grp, count(*) FROM items GROUP BY grp ORDER BY grp", ()),
+    ("SELECT grp, avg(price) FROM items GROUP BY grp "
+     "HAVING count(*) > 1 ORDER BY grp", ()),
+    ("SELECT count(*) FROM items WHERE id > 100", ()),
+    ("SELECT sum(price) FROM items WHERE id > 100", ()),
+    ("SELECT count(DISTINCT grp) FROM items", ()),
+    # DISTINCT / ORDER BY position / DESC / LIMIT-OFFSET.
+    ("SELECT DISTINCT grp FROM items ORDER BY 1", ()),
+    ("SELECT id, name FROM items ORDER BY 2 DESC", ()),
+    ("SELECT id FROM items ORDER BY id DESC LIMIT 2", ()),
+    ("SELECT id FROM items ORDER BY id LIMIT 2 OFFSET 2", ()),
+    # Scalar (table-less) selects.
+    ("SELECT 1 + 1, 'x' || 'y'", ()),
+    # Mixed-type comparison: string column against numeric string.
+    ("SELECT id FROM items WHERE name > '1' ORDER BY id", ()),
+]
+
+
+@pytest.mark.parametrize("sql,params", SELECT_CASES,
+                         ids=[c[0][:60] for c in SELECT_CASES])
+def test_select_equivalence(pair, sql, params):
+    both(pair, sql, params)
+
+
+ERROR_CASES = [
+    ("SELECT nope FROM items", ()),
+    ("SELECT i.nope FROM items i", ()),
+    ("SELECT x.id FROM items i", ()),
+    ("SELECT id FROM items WHERE id = ?", ()),   # missing parameter
+    ("SELECT unknown_fn(id) FROM items", ()),
+    ("SELECT max(*) FROM items", ()),
+]
+
+
+@pytest.mark.parametrize("sql,params", ERROR_CASES,
+                         ids=[c[0][:60] for c in ERROR_CASES])
+def test_error_equivalence(pair, sql, params):
+    outcome = both(pair, sql, params)
+    assert outcome[0] == "error"
+
+
+def test_dml_equivalence(pair):
+    for sql, params in [
+        ("INSERT INTO items VALUES (?, ?, ?, ?, ?)",
+         (6, 3, 4.5, "fox", None)),
+        ("UPDATE items SET price = price + 1 WHERE grp = 1", ()),
+        ("UPDATE items SET note = NULL WHERE id = 2", ()),
+        ("DELETE FROM items WHERE grp IS NULL", ()),
+        ("UPDATE items SET grp = grp WHERE price > ?", (3.0,)),
+    ]:
+        both(pair, sql, params)
+        both(pair, "SELECT * FROM items ORDER BY id")
+
+
+def test_constraint_error_equivalence(pair):
+    # Duplicate PK and NOT NULL violations carry identical messages.
+    both(pair, "INSERT INTO items VALUES (1, 9, 0.0, 'dup', NULL)")
+    both(pair, "INSERT INTO items VALUES (7, 1, 1.0, NULL, NULL)")
+    both(pair, "SELECT count(*) FROM items")
+
+
+def test_procedure_statement_equivalence_on_mini_benchmark():
+    """Drive the shared-fixture mini benchmark's statements both ways."""
+    results = []
+    for compiled in (True, False):
+        db = Database(use_compiled_plans=compiled)
+        conn = connect(db)
+        cur = conn.cursor()
+        cur.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT NOT NULL)")
+        cur.executemany("INSERT INTO kv VALUES (?, ?)",
+                        [(i, 0) for i in range(16)])
+        conn.commit()
+        out = []
+        for k in range(16):
+            cur.execute("UPDATE kv SET v = v + 1 WHERE k = ?", (k % 7,))
+            out.append(cur.rowcount)
+        cur.execute("SELECT k, v FROM kv ORDER BY k")
+        out.append(cur.fetchall())
+        conn.commit()
+        results.append(out)
+        conn.close()
+    assert results[0] == results[1]
+
+
+def test_compiled_path_actually_ran():
+    """Guard against the oracle silently comparing interpreter to itself."""
+    db = Database()
+    conn = connect(db)
+    cur = conn.cursor()
+    cur.execute("CREATE TABLE t (a INT PRIMARY KEY)")
+    cur.execute("INSERT INTO t VALUES (1)")
+    cur.execute("SELECT a FROM t")
+    conn.commit()
+    counters = db.counters.snapshot()
+    assert counters["plan_executions"] == 2
+    assert counters["interpreted_executions"] == 0
+    conn.close()

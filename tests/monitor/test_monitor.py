@@ -70,6 +70,28 @@ def test_monitor_scheduled_on_simulated_run(db):
     assert commits == pytest.approx(500, abs=60)
 
 
+def test_plan_cache_deltas_in_samples(db):
+    conn = connect(db)
+    cur = conn.cursor()
+    cur.execute("CREATE TABLE t (a INT PRIMARY KEY)")
+    monitor = EngineMonitor(db)
+    monitor.sample(0.0)
+    for i in range(5):
+        cur.execute("INSERT INTO t VALUES (?)", (i,))
+    conn.commit()
+    sample = monitor.sample(1.0)
+    # One plan compiled (miss), then four cache hits.
+    assert sample.plan_cache_misses == 1
+    assert sample.plan_cache_hits == 4
+    assert sample.plan_cache_invalidations == 0
+    assert sample.as_row()["plan_cache_hits"] == 4
+    # DDL invalidates the cache; the next interval shows the delta.
+    cur.execute("CREATE TABLE u (b INT PRIMARY KEY)")
+    after_ddl = monitor.sample(2.0)
+    assert after_ddl.plan_cache_invalidations >= 1
+    conn.close()
+
+
 def test_saturation_signal_rises_with_lock_waits(db):
     monitor = EngineMonitor(db)
     monitor.sample(0.0)

@@ -44,7 +44,7 @@ def all_rules() -> list[Rule]:
 
 
 # Importing the modules registers the rules.
-from . import (lockdiscipline, registration, rng,  # noqa: E402,F401
-               sqlvalidity, streamingcopy, swallowed, wallclock)
+from . import (lockdiscipline, registration, retrypath,  # noqa: E402,F401
+               rng, sqlvalidity, streamingcopy, swallowed, wallclock)
 
 __all__ = ["Rule", "RULES", "register", "all_rules"]

@@ -1,0 +1,81 @@
+"""RP008 — exception discipline in retry/fault paths.
+
+The resilience layer's whole job is deciding which exceptions are
+transient (retry them) and which are verdicts (surface them).  A broad
+``except`` inside those modules collapses that distinction: a
+programming error or a benchmark-intended ``UserAbort`` gets classified
+as retryable, the loop spins on a failure that can never succeed, and
+the recorded retry/recovery counters stop meaning anything.  So in the
+fault/retry modules — anything under a ``faults/`` package,
+``resilience.py``, and the API client — every handler must either name
+the exception types it classifies or re-raise what it caught.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from . import Rule, register
+
+#: Files whose handlers classify errors as retryable-or-not.
+RETRY_PATH_FILES = {"resilience.py"}
+_BROAD = {"Exception", "BaseException"}
+
+
+def _in_scope(ctx: FileContext) -> bool:
+    if ctx.in_directory("faults"):
+        return True
+    if ctx.filename in RETRY_PATH_FILES:
+        return True
+    return ctx.filename == "client.py" and ctx.in_directory("api")
+
+
+def _broad_names(handler: ast.ExceptHandler) -> list[str]:
+    node = handler.type
+    if node is None:
+        return []
+    types = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for item in types:
+        name = item.id if isinstance(item, ast.Name) else \
+            item.attr if isinstance(item, ast.Attribute) else ""
+        if name in _BROAD:
+            names.append(name)
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+@register
+class RetryPathExceptionRule(Rule):
+    rule_id = "RP008"
+    title = "retry/fault-path exception discipline"
+    rationale = (
+        "Retry loops and fault injectors classify exceptions as "
+        "transient-or-not; a bare or over-broad except there marks "
+        "unretryable failures (programming errors, user aborts) as "
+        "retryable and corrupts every recovery counter.")
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not _in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.diag(
+                    node, self.rule_id,
+                    "bare except in a retry/fault path treats every "
+                    "failure as retryable; name the transient exception "
+                    "types")
+            elif _broad_names(node) and not _reraises(node):
+                yield ctx.diag(
+                    node, self.rule_id,
+                    "broad except in a retry/fault path without re-raise; "
+                    "name the exception types the handler classifies as "
+                    "transient")

@@ -11,12 +11,18 @@ Three pieces:
 
 * :class:`ControlApi` — the in-process facade over registered
   WorkloadManagers; the game drives this directly in simulated runs;
-* :class:`ApiServer` — an HTTP/JSON server exposing the facade;
-* :class:`ApiClient` — a Python client with the same method surface.
+* :class:`ApiServer` — an HTTP/JSON server exposing the facade under the
+  versioned ``/v1`` surface (legacy unversioned routes remain as
+  deprecated aliases);
+* :class:`WorkloadHost` — workload lifecycle (create/start/stop/delete)
+  over HTTP, v1 only;
+* :class:`ApiClient` — a Python client with the same method surface,
+  speaking v1 with timeouts and connection-failure retries.
 """
 
 from .control import ControlApi
+from .lifecycle import WorkloadHost
 from .server import ApiServer
 from .client import ApiClient
 
-__all__ = ["ControlApi", "ApiServer", "ApiClient"]
+__all__ = ["ControlApi", "ApiServer", "ApiClient", "WorkloadHost"]

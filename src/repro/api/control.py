@@ -7,7 +7,7 @@ from typing import Mapping, Optional
 
 from ..benchmarks import table1
 from ..core.manager import WorkloadManager
-from ..errors import ApiError, ApiNotFound
+from ..errors import ApiConflict, ApiError, ApiNotFound
 
 
 class ControlApi:
@@ -21,7 +21,7 @@ class ControlApi:
     def register(self, manager: WorkloadManager) -> None:
         tenant = manager.tenant
         if tenant in self._workloads:
-            raise ApiError(f"tenant {tenant!r} already registered")
+            raise ApiConflict(f"tenant {tenant!r} already registered")
         self._workloads[tenant] = manager
 
     def unregister(self, tenant: str) -> None:
@@ -80,6 +80,41 @@ class ControlApi:
         except Exception as exc:
             raise ApiError(str(exc)) from exc
         return {"ok": True, "think_time": manager.current_think_time()}
+
+    def set_faults(self, tenant: str,
+                   fields: Mapping[str, object]) -> dict:
+        """Re-tune the tenant's fault-injection profile (partial PUT)."""
+        manager = self._manager(tenant)
+        if not isinstance(fields, Mapping):
+            raise ApiError("faults body must be an object of profile "
+                           "fields")
+        try:
+            manager.set_fault_profile(fields)
+        except Exception as exc:
+            raise ApiError(str(exc)) from exc
+        return {"ok": True, "faults": manager.current_fault_profile()}
+
+    def get_faults(self, tenant: str) -> dict:
+        manager = self._manager(tenant)
+        return {"faults": manager.current_fault_profile(),
+                "injected": manager.faults.counters()}
+
+    def set_resilience(self, tenant: str,
+                       fields: Mapping[str, object]) -> dict:
+        """Re-tune retry policies / circuit breaker (partial PUT)."""
+        manager = self._manager(tenant)
+        if not isinstance(fields, Mapping):
+            raise ApiError("resilience body must be an object")
+        try:
+            manager.set_resilience(fields)
+        except Exception as exc:
+            raise ApiError(str(exc)) from exc
+        return {"ok": True, "resilience": manager.current_resilience()}
+
+    def get_resilience(self, tenant: str) -> dict:
+        manager = self._manager(tenant)
+        return {"resilience": manager.current_resilience(),
+                "stats": manager.resilience.stats.snapshot()}
 
     # -- feedback -------------------------------------------------------------
 

@@ -1,0 +1,172 @@
+"""Workload lifecycle over the control plane (v1 only).
+
+:class:`WorkloadHost` lets a remote client drive the whole workload
+lifecycle that previously required in-process wiring:
+
+    POST   /v1/workloads                  create from a config body
+    POST   /v1/workloads/<tenant>/start   begin threaded execution
+    POST   /v1/workloads/<tenant>/stop    stop a running workload
+    DELETE /v1/workloads/<tenant>         stop (if needed) and unregister
+
+``ControlApi.register`` remains the in-process path: workloads wired up
+directly (the game, benchmarks, tests) coexist with hosted ones in the
+same registry, but only hosted workloads can be started or deleted over
+HTTP — the host refuses lifecycle verbs for tenants it does not own
+(409, the caller doesn't control that workload's executor).
+
+Each started workload runs on its own :class:`ThreadedExecutor` driven
+by a background thread, so ``start`` returns immediately and the
+workload's phases unwind in real time; ``GET /v1/workloads/<tenant>/
+status`` is the feedback loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping, Optional
+
+from ..benchmarks import create_benchmark
+from ..core.config import WorkloadConfiguration
+from ..core.executors import ThreadedExecutor
+from ..core.manager import (STATE_CREATED, STATE_RUNNING, WorkloadManager)
+from ..engine.database import Database
+from ..errors import ApiConflict, ApiError, ApiNotFound
+from .control import ControlApi
+
+
+class _Hosted:
+    """One hosted workload: its manager plus the executor driving it."""
+
+    def __init__(self, manager: WorkloadManager,
+                 database: Database) -> None:
+        self.manager = manager
+        self.database = database
+        self.executor: Optional[ThreadedExecutor] = None
+        self.thread: Optional[threading.Thread] = None
+
+
+class WorkloadHost:
+    """Creates, starts, stops, and deletes workloads over the API."""
+
+    def __init__(self, control: ControlApi) -> None:
+        self.control = control
+        self._lock = threading.Lock()
+        self._hosted: dict[str, _Hosted] = {}
+
+    # -- verbs ---------------------------------------------------------------
+
+    def create(self, body: Mapping[str, object]) -> dict:
+        """Build a workload from a configuration body and register it.
+
+        The body is a :class:`WorkloadConfiguration` dict (``benchmark``,
+        ``tenant``, ``phases``, ...).  The benchmark's data is loaded
+        synchronously, so keep ``scale_factor`` modest for interactive
+        use.
+        """
+        if not isinstance(body, Mapping):
+            raise ApiError("workload body must be a configuration object")
+        try:
+            config = WorkloadConfiguration.from_dict(body)
+        except Exception as exc:
+            raise ApiError(str(exc)) from exc
+        with self._lock:
+            if config.tenant in self._hosted:
+                raise ApiConflict(
+                    f"tenant {config.tenant!r} already exists")
+            try:
+                database = Database(config.benchmark)
+                bench = create_benchmark(
+                    config.benchmark, database,
+                    scale_factor=config.scale_factor, seed=config.seed)
+                bench.load()
+                manager = WorkloadManager(bench, config)
+            except ApiError:
+                raise
+            except Exception as exc:
+                raise ApiError(str(exc)) from exc
+            # Registry may already hold an in-process tenant of this name.
+            self.control.register(manager)
+            self._hosted[config.tenant] = _Hosted(manager, database)
+        return {"ok": True, "tenant": config.tenant,
+                "state": manager.state,
+                "benchmark": config.benchmark,
+                "phases": len(config.phases)}
+
+    def start(self, tenant: str) -> dict:
+        with self._lock:
+            hosted = self._hosted_for(tenant)
+            manager = hosted.manager
+            if manager.state == STATE_RUNNING:
+                raise ApiConflict(f"tenant {tenant!r} is already running")
+            if manager.state != STATE_CREATED:
+                raise ApiConflict(
+                    f"tenant {tenant!r} already ran to state "
+                    f"{manager.state!r}; create a fresh workload")
+            executor = ThreadedExecutor(hosted.database)
+            executor.add_workload(manager)
+            thread = threading.Thread(
+                target=executor.run,
+                kwargs={"timeout": manager.config.total_duration() + 30},
+                name=f"host-{tenant}", daemon=True)
+            hosted.executor = executor
+            hosted.thread = thread
+            thread.start()
+        return {"ok": True, "tenant": tenant, "state": STATE_RUNNING}
+
+    def stop(self, tenant: str) -> dict:
+        with self._lock:
+            hosted = self._hosted_for(tenant)
+        self._halt(hosted)
+        return {"ok": True, "tenant": tenant,
+                "state": hosted.manager.state}
+
+    def delete(self, tenant: str) -> dict:
+        with self._lock:
+            hosted = self._hosted_for(tenant)
+            del self._hosted[tenant]
+        self._halt(hosted)
+        self.control.unregister(tenant)
+        return {"ok": True, "tenant": tenant, "deleted": True}
+
+    def list(self) -> dict:
+        """Every registered tenant; hosted ones are marked as such."""
+        with self._lock:
+            hosted = set(self._hosted)
+        workloads = []
+        for tenant in self.control.tenants():
+            manager = self.control._manager(tenant)
+            workloads.append({
+                "tenant": tenant,
+                "benchmark": manager.benchmark.name,
+                "state": manager.state,
+                "hosted": tenant in hosted,
+            })
+        return {"workloads": workloads}
+
+    # -- helpers -------------------------------------------------------------
+
+    def _hosted_for(self, tenant: str) -> _Hosted:
+        hosted = self._hosted.get(tenant)
+        if hosted is None:
+            if tenant in self.control.tenants():
+                raise ApiConflict(
+                    f"tenant {tenant!r} is registered in-process, not "
+                    "hosted; lifecycle verbs only apply to workloads "
+                    "created through POST /v1/workloads")
+            raise ApiNotFound(f"no workload registered for tenant "
+                              f"{tenant!r}")
+        return hosted
+
+    def _halt(self, hosted: _Hosted) -> None:
+        hosted.manager.stop()
+        if hosted.executor is not None:
+            hosted.executor.stop()
+        if hosted.thread is not None:
+            hosted.thread.join(timeout=5.0)
+
+    def shutdown(self) -> None:
+        """Stop every hosted workload (server teardown)."""
+        with self._lock:
+            hosted = list(self._hosted.values())
+        for item in hosted:
+            self._halt(item)

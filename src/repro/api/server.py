@@ -1,23 +1,45 @@
 """HTTP/JSON server exposing the control facade as a REST API.
 
-Routes (all JSON):
+The surface is versioned under ``/v1`` (see docs/api.md for the full
+route reference):
 
-    GET  /benchmarks                      -> paper Table 1
-    GET  /status                          -> every tenant's status
-    GET  /metrics                         -> every tenant's streaming metrics
-    GET  /workloads/<tenant>/status
-    GET  /workloads/<tenant>/metrics      ?window=<seconds>
-    GET  /workloads/<tenant>/presets
-    POST /workloads/<tenant>/rate         {"rate": 150 | "unlimited" | "disabled"}
-    POST /workloads/<tenant>/weights      {"weights": {"NewOrder": 45, ...}}
-    POST /workloads/<tenant>/preset       {"preset": "read-only"}
-    POST /workloads/<tenant>/think_time   {"seconds": 0.01}
-    POST /workloads/<tenant>/pause
-    POST /workloads/<tenant>/resume
+    GET    /v1/benchmarks                        -> paper Table 1
+    GET    /v1/status                            -> every tenant's status
+    GET    /v1/metrics                           -> every tenant's metrics
+    GET    /v1/tenants
+    GET    /v1/workloads                         -> registry with states
+    POST   /v1/workloads                         {config body} -> create
+    GET    /v1/workloads/<tenant>                -> status
+    DELETE /v1/workloads/<tenant>                -> stop + unregister
+    POST   /v1/workloads/<tenant>/start
+    POST   /v1/workloads/<tenant>/stop
+    GET    /v1/workloads/<tenant>/status
+    GET    /v1/workloads/<tenant>/metrics        ?window=<seconds>
+    GET    /v1/workloads/<tenant>/presets
+    POST   /v1/workloads/<tenant>/rate           {"rate": 150|"unlimited"|"disabled"}
+    POST   /v1/workloads/<tenant>/weights        {"weights": {"NewOrder": 45, ...}}
+    POST   /v1/workloads/<tenant>/preset         {"preset": "read-only"}
+    POST   /v1/workloads/<tenant>/think_time     {"seconds": 0.01}
+    POST   /v1/workloads/<tenant>/pause
+    POST   /v1/workloads/<tenant>/resume
+    GET    /v1/workloads/<tenant>/faults
+    PUT    /v1/workloads/<tenant>/faults         {"abort_probability": 0.05, ...}
+    GET    /v1/workloads/<tenant>/resilience
+    PUT    /v1/workloads/<tenant>/resilience     {"max_attempts": 4, ...}
 
-Status codes follow HTTP semantics: 404 for unknown paths and unknown
-tenants, 405 (with an ``Allow`` header) for a known path hit with the
-wrong method, 400 for malformed bodies or invalid control values.
+v1 errors use a uniform envelope::
+
+    {"error": {"code": "<symbol>", "message": "<human text>"}}
+
+with codes ``bad_request`` (400), ``not_found`` (404),
+``method_not_allowed`` (405, plus an ``Allow`` header), ``conflict``
+(409), and ``internal`` (500).
+
+The original unversioned routes remain as deprecated aliases: same
+behaviour and same legacy error shape (``{"ok": false, "error": "..."}``)
+so existing callers keep working, but every response carries a
+``Deprecation: true`` header.  Lifecycle, faults, and resilience routes
+are v1-only — they never existed unversioned.
 """
 
 from __future__ import annotations
@@ -28,23 +50,31 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional
 from urllib.parse import parse_qs, urlsplit
 
-from ..errors import ApiError, ApiMethodNotAllowed, ApiNotFound
+from ..errors import (ApiConflict, ApiError, ApiMethodNotAllowed,
+                      ApiNotFound)
 from .control import ControlApi
+from .lifecycle import WorkloadHost
 
-#: POST actions under /workloads/<tenant>/<action>.
+#: POST actions under /workloads/<tenant>/<action> (legacy and v1).
 _POST_ACTIONS = ("rate", "weights", "preset", "think_time", "pause",
                  "resume")
-#: GET views under /workloads/<tenant>/<view>.
+#: GET views under /workloads/<tenant>/<view> (legacy and v1).
 _GET_VIEWS = ("status", "metrics", "presets")
+#: Lifecycle actions under /v1/workloads/<tenant>/<action> (v1 only).
+_LIFECYCLE_ACTIONS = ("start", "stop")
+#: GET+PUT resources under /v1/workloads/<tenant>/<resource> (v1 only).
+_PUT_RESOURCES = ("faults", "resilience")
 
 
 class ApiServer:
     """Runs the control API on a background HTTP server thread."""
 
     def __init__(self, control: ControlApi, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0,
+                 workloads: Optional[WorkloadHost] = None) -> None:
         self.control = control
-        handler = _make_handler(control)
+        self.workloads = workloads or WorkloadHost(control)
+        handler = _make_handler(control, self.workloads)
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: Optional[threading.Thread] = None
 
@@ -68,6 +98,7 @@ class ApiServer:
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=2.0)
+        self.workloads.shutdown()
 
     def __enter__(self) -> "ApiServer":
         return self.start()
@@ -76,7 +107,7 @@ class ApiServer:
         self.stop()
 
 
-def _make_handler(control: ControlApi):
+def _make_handler(control: ControlApi, host: WorkloadHost):
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
 
@@ -86,13 +117,17 @@ def _make_handler(control: ControlApi):
         # -- helpers --------------------------------------------------
 
         def _send(self, code: int, payload: object,
-                  allow: tuple[str, ...] = ()) -> None:
+                  allow: tuple[str, ...] = (),
+                  deprecated: bool = False) -> None:
             body = json.dumps(payload).encode()
             self.send_response(code)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
             if allow:
                 self.send_header("Allow", ", ".join(allow))
+            if deprecated:
+                self.send_header("Deprecation", "true")
+                self.send_header("Link", '</v1>; rel="successor-version"')
             self.end_headers()
             self.wfile.write(body)
 
@@ -116,12 +151,23 @@ def _make_handler(control: ControlApi):
                 raise ApiError("window must be positive")
             return window
 
+        def _error(self, exc: Exception, code: int, symbol: str,
+                   v1: bool) -> object:
+            """The error payload: v1 envelope or the legacy shape."""
+            if v1:
+                return {"error": {"code": symbol, "message": str(exc)}}
+            return {"ok": False, "error": str(exc)}
+
         def _route(self, method: str) -> None:
             split = urlsplit(self.path)
             parts = [p for p in split.path.split("/") if p]
+            v1 = bool(parts) and parts[0] == "v1"
+            if v1:
+                parts = parts[1:]
+            deprecated = not v1
             query = parse_qs(split.query)
             try:
-                handlers = self._match(parts, query)
+                handlers = self._match(parts, query, v1)
                 if not handlers:
                     raise ApiNotFound(f"unknown path {split.path!r}")
                 handler = handlers.get(method)
@@ -131,23 +177,32 @@ def _make_handler(control: ControlApi):
                         allowed=tuple(sorted(handlers)))
                 payload = handler()
             except ApiMethodNotAllowed as exc:
-                self._send(405, {"ok": False, "error": str(exc)},
-                           allow=exc.allowed)
+                self._send(405,
+                           self._error(exc, 405, "method_not_allowed", v1),
+                           allow=exc.allowed, deprecated=deprecated)
             except ApiNotFound as exc:
-                self._send(404, {"ok": False, "error": str(exc)})
+                self._send(404, self._error(exc, 404, "not_found", v1),
+                           deprecated=deprecated)
+            except ApiConflict as exc:
+                self._send(409, self._error(exc, 409, "conflict", v1),
+                           deprecated=deprecated)
             except ApiError as exc:
-                self._send(400, {"ok": False, "error": str(exc)})
+                self._send(400, self._error(exc, 400, "bad_request", v1),
+                           deprecated=deprecated)
             except Exception as exc:  # pragma: no cover - defensive
-                self._send(500, {"ok": False, "error": str(exc)})
+                self._send(500, self._error(exc, 500, "internal", v1),
+                           deprecated=deprecated)
             else:
-                self._send(200, payload)
+                self._send(200, payload, deprecated=deprecated)
 
-        def _match(self, parts: list[str], query: dict
+        def _match(self, parts: list[str], query: dict, v1: bool
                    ) -> dict[str, Callable[[], object]]:
             """Map the path to its {method: handler} table.
 
             An empty table means the path does not exist (404); a known
             path queried with a method missing from its table is a 405.
+            Lifecycle, faults, and resilience routes only exist when
+            ``v1`` is set.
             """
             if parts == ["benchmarks"]:
                 return {"GET": control.benchmarks}
@@ -158,6 +213,13 @@ def _make_handler(control: ControlApi):
                     window=self._window(query))}
             if parts == ["tenants"]:
                 return {"GET": control.tenants}
+            if v1 and parts == ["workloads"]:
+                return {"GET": host.list,
+                        "POST": lambda: host.create(self._read_body())}
+            if v1 and len(parts) == 2 and parts[0] == "workloads":
+                tenant = parts[1]
+                return {"GET": lambda: control.status(tenant),
+                        "DELETE": lambda: host.delete(tenant)}
             if len(parts) == 3 and parts[0] == "workloads":
                 tenant, action = parts[1], parts[2]
                 if action == "status":
@@ -171,6 +233,17 @@ def _make_handler(control: ControlApi):
                 if action in _POST_ACTIONS:
                     return {"POST": lambda: self._post_action(
                         tenant, action)}
+                if v1 and action in _LIFECYCLE_ACTIONS:
+                    verb = host.start if action == "start" else host.stop
+                    return {"POST": lambda: verb(tenant)}
+                if v1 and action == "faults":
+                    return {"GET": lambda: control.get_faults(tenant),
+                            "PUT": lambda: control.set_faults(
+                                tenant, self._read_body())}
+                if v1 and action == "resilience":
+                    return {"GET": lambda: control.get_resilience(tenant),
+                            "PUT": lambda: control.set_resilience(
+                                tenant, self._read_body())}
             return {}
 
         def _post_action(self, tenant: str, action: str) -> object:

@@ -61,6 +61,26 @@ def build_parser() -> argparse.ArgumentParser:
                           "accounting) as JSON here")
     run.add_argument("--restore", help="load data from a dump file "
                                        "instead of the generator")
+    run.add_argument("--fault-aborts", type=float, default=None,
+                     metavar="P",
+                     help="inject transient aborts with probability P "
+                          "per attempt (also REPRO_CHAOS_ABORTS)")
+    run.add_argument("--fault-latency", type=float, default=None,
+                     metavar="P",
+                     help="inject latency spikes with probability P "
+                          "(also REPRO_CHAOS_LATENCY)")
+    run.add_argument("--fault-lock-timeouts", type=float, default=None,
+                     metavar="P",
+                     help="inject lock timeouts with probability P "
+                          "(also REPRO_CHAOS_LOCK_TIMEOUTS)")
+    run.add_argument("--fault-disconnects", type=float, default=None,
+                     metavar="P",
+                     help="inject connection drops with probability P "
+                          "(also REPRO_CHAOS_DISCONNECTS)")
+    run.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="retry faulted transactions up to N attempts "
+                          "with exponential backoff "
+                          "(also REPRO_CHAOS_RETRIES)")
 
     dump = sub.add_parser("dump", help="load a benchmark and dump its data")
     dump.add_argument("--benchmark", required=True,
@@ -76,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
     game.add_argument("--dbms", default="oracle",
                       choices=sorted(PERSONALITIES))
     game.add_argument("--seed", type=int, default=42)
+
+    serve = sub.add_parser(
+        "serve", help="run the v1 control-plane HTTP server; workloads "
+                      "are created over POST /v1/workloads")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
 
     lint = sub.add_parser(
         "lint", help="run the repo-aware static analysis rules (RP001...)")
@@ -95,6 +121,24 @@ def _parse_rate(raw: str):
     if raw in ("unlimited", "disabled"):
         return raw
     return float(raw)
+
+
+def _apply_chaos(manager, args) -> None:
+    """Apply the ``--fault-*`` / ``--retries`` flags to one manager.
+
+    The manager already picked up the ``REPRO_CHAOS_*`` environment
+    defaults; explicit flags override them field by field.
+    """
+    fields = {name: value for name, value in (
+        ("abort_probability", args.fault_aborts),
+        ("latency_probability", args.fault_latency),
+        ("lock_timeout_probability", args.fault_lock_timeouts),
+        ("disconnect_probability", args.fault_disconnects),
+    ) if value is not None}
+    if fields:
+        manager.set_fault_profile(fields)
+    if args.retries is not None:
+        manager.set_resilience({"max_attempts": args.retries})
 
 
 def cmd_list(_args) -> int:
@@ -133,6 +177,7 @@ def cmd_run(args) -> int:
         manager = WorkloadManager(bench, config)
         executor = ThreadedExecutor(db)
         executor.add_workload(manager)
+        _apply_chaos(manager, args)
         run_report = executor.run(timeout=config.total_duration() + 30)
         if run_report.get("error"):
             print(f"warning: {run_report['error']}", file=sys.stderr)
@@ -141,9 +186,13 @@ def cmd_run(args) -> int:
         manager = WorkloadManager(bench, config, clock=clock)
         executor = SimulatedExecutor(db, args.dbms, clock)
         executor.add_workload(manager)
+        _apply_chaos(manager, args)
         executor.run()
 
     summary = manager.results.summary()
+    chaos = {}
+    if manager.faults.profile().enabled or args.retries is not None:
+        chaos = {"resilience": manager.resilience_payload()}
     print(json.dumps({
         "benchmark": args.benchmark,
         "dbms": args.dbms if not args.threaded else "threaded",
@@ -158,6 +207,7 @@ def cmd_run(args) -> int:
                        stats["latency"].get("avg", 0.0) * 1000, 3)}
             for name, stats in summary["per_txn"].items()
         },
+        **chaos,
     }, indent=2))
     if args.trace:
         with TraceWriter(args.trace) as writer:
@@ -219,6 +269,23 @@ def cmd_game(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import threading
+
+    from .api import ApiServer, ControlApi
+
+    control = ControlApi()
+    with ApiServer(control, host=args.host, port=args.port) as server:
+        print(f"v1 control plane listening on {server.url} "
+              f"(POST {server.url}/v1/workloads to create a workload; "
+              "Ctrl-C to stop)", file=sys.stderr)
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+    return 0
+
+
 def cmd_lint(args) -> int:
     from .analysis import Linter
     from .analysis.reporters import render_explain, render_json, render_text
@@ -252,7 +319,7 @@ def cmd_lint(args) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "dump": cmd_dump,
-                "game": cmd_game, "lint": cmd_lint}
+                "game": cmd_game, "serve": cmd_serve, "lint": cmd_lint}
     try:
         return handlers[args.command](args)
     except BrokenPipeError:

@@ -31,28 +31,25 @@ from ..clock import Clock, RealClock, SimClock, StoppableSleeper
 from ..engine.database import Database
 from ..engine.dbapi import connect
 from ..engine.service import DbmsPersonality, LoadTracker, get_personality
-from ..errors import ConfigurationError, Error, TransactionAborted
+from ..errors import ConfigurationError
+from ..faults import FaultingConnection
 from ..rand import make_rng
 from .manager import STATE_CREATED, WorkloadManager
 from .requestqueue import Request
-from .results import (LatencySample, STATUS_ABORTED, STATUS_ERROR, STATUS_OK)
+from .resilience import run_with_resilience
+from .results import LatencySample
 
 _TOKENS = itertools.count(1)
 
 
-def _run_procedure(proc, conn, rng) -> str:
-    """Execute one transaction attempt; returns the outcome status."""
-    try:
-        proc.run(conn, rng)
-        if conn.in_transaction:
-            conn.commit()
-        return STATUS_OK
-    except TransactionAborted:
-        conn.rollback()
-        return STATUS_ABORTED
-    except Error:
-        conn.rollback()
-        return STATUS_ERROR
+def _resilient_connect(database: Database, isolation) -> FaultingConnection:
+    """Open a worker connection wrapped for fault injection.
+
+    The wrapper is inert (passes every call straight through) until the
+    retry loop arms it with a fault plan, so fault-free runs behave
+    exactly as before.
+    """
+    return FaultingConnection(connect(database, isolation=isolation))
 
 
 # ---------------------------------------------------------------------------
@@ -161,14 +158,22 @@ class ThreadedExecutor:
     # -- workers ------------------------------------------------------------
 
     def _worker_loop(self, manager: WorkloadManager, worker_id: int) -> None:
-        conn = connect(self.database, isolation=manager.config.isolation)
+        conn = _resilient_connect(self.database, manager.config.isolation)
         rng = make_rng(manager.config.seed, "worker", manager.tenant,
                        worker_id)
+        retry_rng = make_rng(manager.config.seed, "retry", manager.tenant,
+                             worker_id)
         sleeper = StoppableSleeper()
         try:
             while not self._stop.is_set() and not manager.finished:
                 if manager.paused or not manager.worker_enabled(worker_id):
                     self._stop.wait(0.01)
+                    continue
+                if not manager.breaker_allows():
+                    # Breaker open: shed due requests (counted postponed)
+                    # instead of executing them, then back off briefly.
+                    manager.shed_breaker_open()
+                    self._stop.wait(0.02)
                     continue
                 if manager.closed_loop:
                     request = Request(self.clock.now(), 0)
@@ -177,7 +182,8 @@ class ThreadedExecutor:
                     if request is None:
                         continue
                 try:
-                    self._execute(manager, worker_id, conn, rng, request)
+                    self._execute(manager, worker_id, conn, rng, retry_rng,
+                                  request)
                 except Exception:
                     # Engine errors are converted to STATUS_ERROR samples
                     # inside _execute; anything reaching here is a harness
@@ -193,7 +199,7 @@ class ThreadedExecutor:
             conn.close()
 
     def _execute(self, manager: WorkloadManager, worker_id: int, conn, rng,
-                 request: Request) -> None:
+                 retry_rng, request: Request) -> None:
         txn_name = manager.sample_txn_name(rng)
         proc = manager.benchmark.make_procedure(txn_name)
         started = self.clock.now()
@@ -201,7 +207,12 @@ class ThreadedExecutor:
         token = next(_TOKENS)
         self.tracker.started(token, not proc.read_only)
         try:
-            status = _run_procedure(proc, conn, rng)
+            outcome = run_with_resilience(
+                proc, txn_name, conn, rng, clock=self.clock,
+                resilience=manager.resilience, injector=manager.faults,
+                retry_rng=retry_rng,
+                waiter=lambda seconds: self._stop.wait(seconds))
+            status = outcome.status
         finally:
             self.tracker.finished(token)
         elapsed = self.clock.now() - started
@@ -227,13 +238,15 @@ class ThreadedExecutor:
 
 
 class _SimWorker:
-    __slots__ = ("worker_id", "conn", "rng", "busy", "extra_think")
+    __slots__ = ("worker_id", "conn", "rng", "retry_rng", "busy",
+                 "extra_think")
 
-    def __init__(self, worker_id: int, conn, rng,
+    def __init__(self, worker_id: int, conn, rng, retry_rng,
                  extra_think: float = 0.0) -> None:
         self.worker_id = worker_id
         self.conn = conn
         self.rng = rng
+        self.retry_rng = retry_rng
         self.busy = False
         self.extra_think = extra_think
 
@@ -271,11 +284,15 @@ class SimulatedExecutor:
         count = workers or manager.config.workers
         sim_workers = []
         for worker_id in range(count):
-            conn = connect(self.database, isolation=manager.config.isolation)
+            conn = _resilient_connect(self.database,
+                                      manager.config.isolation)
             rng = make_rng(manager.config.seed, "worker", manager.tenant,
                            worker_id)
+            retry_rng = make_rng(manager.config.seed, "retry",
+                                 manager.tenant, worker_id)
             extra = worker_think(worker_id) if worker_think else 0.0
-            sim_workers.append(_SimWorker(worker_id, conn, rng, extra))
+            sim_workers.append(
+                _SimWorker(worker_id, conn, rng, retry_rng, extra))
         workload = _SimWorkload(manager, sim_workers)
         self._workloads.append(workload)
         manager.on_control_change = lambda: self._schedule_dispatch(workload)
@@ -321,6 +338,15 @@ class SimulatedExecutor:
         if not manager.running or manager.paused:
             return
         now = self.clock.now()
+        if not manager.breaker_allows():
+            # Breaker open: shed everything already due (counted as
+            # postponed) and come back when the cooldown admits a probe.
+            manager.shed_breaker_open()
+            retry_after = manager.resilience.breaker.retry_after(now)
+            if retry_after > 0:
+                self.clock.call_at(now + retry_after,
+                                   lambda: self._dispatch(workload))
+            return
         if manager.closed_loop:
             for worker in workload.workers:
                 if not worker.busy and \
@@ -356,8 +382,14 @@ class SimulatedExecutor:
         proc = manager.benchmark.make_procedure(txn_name)
         queue_delay = max(0.0, now - request.arrival_time)
         # Real SQL execution happens instantly at dispatch; the personality
-        # decides how long it *takes* in virtual time.
-        status = _run_procedure(proc, worker.conn, worker.rng)
+        # decides how long it *takes* in virtual time.  Retries and
+        # injected latency cannot sleep on a SimClock, so the loop runs
+        # with waiter=None and its requested waits (backoff delays plus
+        # latency spikes) are folded into the virtual service time.
+        outcome = run_with_resilience(
+            proc, txn_name, worker.conn, worker.rng, clock=self.clock,
+            resilience=manager.resilience, injector=manager.faults,
+            retry_rng=worker.retry_rng, waiter=None)
         stats = worker.conn.last_txn_stats
         rows_read = stats.rows_read if stats else 0
         writes = stats.write_footprint if stats else 0
@@ -366,9 +398,10 @@ class SimulatedExecutor:
         service = self.personality.service_time(
             worker.rng, rows_read, writes,
             self.tracker.active, self.tracker.active_writers)
+        service += outcome.waited
         self.clock.call_later(service, lambda: self._complete(
             workload, worker, token, txn_name, request.arrival_time,
-            queue_delay, service, status))
+            queue_delay, service, outcome.status))
 
     def _complete(self, workload: _SimWorkload, worker: _SimWorker,
                   token: int, txn_name: str, arrival: float,

@@ -24,12 +24,14 @@ from typing import Callable, Mapping, Optional
 
 from ..clock import Clock, RealClock
 from ..errors import ConfigurationError
+from ..faults import FaultInjector, FaultProfile, default_profile
 from ..rand import DiscreteDistribution, make_rng
 from .benchmark import BenchmarkModule
 from .config import WorkloadConfiguration
 from .phase import Phase, RATE_DISABLED, RATE_UNLIMITED
 from .rates import ArrivalSchedule
 from .requestqueue import POLICY_CAP, RequestQueue
+from .resilience import Resilience
 from .results import LatencySample, Results
 
 STATE_CREATED = "created"
@@ -70,6 +72,11 @@ class WorkloadManager:
         self._mixture_version = 0
         self._arrival_rng = make_rng(config.seed, "arrivals")
         self._paused = False
+        #: Deterministic fault source (chaos, the fourth control verb).
+        self.faults = FaultInjector(seed=config.seed, tenant=self.tenant,
+                                    profile=default_profile())
+        #: Retry policy + circuit breaker + resilience counters.
+        self.resilience = Resilience(clock=self.clock)
         #: Executors register a callback fired after any control change so
         #: that event-driven executors can reschedule dispatches.
         self.on_control_change: Optional[Callable[[], None]] = None
@@ -261,6 +268,46 @@ class WorkloadManager:
             self._active_workers_override = count
         self._notify()
 
+    def set_fault_profile(self, fields: Mapping[str, object]) -> None:
+        """Re-tune the fault injector mid-run (partial update)."""
+        self.faults.set_profile(self.faults.profile().updated(fields))
+        self._notify()
+
+    def current_fault_profile(self) -> dict[str, float]:
+        return self.faults.profile().to_dict()
+
+    def set_resilience(self, fields: Mapping[str, object]) -> None:
+        """Re-tune retry policies / circuit breaker mid-run."""
+        self.resilience.configure(fields)
+        self._notify()
+
+    def current_resilience(self) -> dict[str, object]:
+        return self.resilience.describe()
+
+    def breaker_allows(self) -> bool:
+        """May a worker execute right now?  False while shedding load."""
+        return self.resilience.breaker.allow(self.clock.now())
+
+    def shed_breaker_open(self) -> int:
+        """Shed due requests while the breaker is open; they count as
+        postponed so the queue accounting invariant is preserved."""
+        dropped = self.queue.drop_due(self.clock.now())
+        if dropped:
+            self.results.record_postponed(dropped)
+            self.resilience.stats.record_breaker_shed(dropped)
+        return dropped
+
+    def resilience_payload(self) -> dict[str, object]:
+        """Faults + retry/breaker state for the metrics snapshot."""
+        return {
+            "faults": {
+                "profile": self.faults.profile().to_dict(),
+                "injected": self.faults.counters(),
+            },
+            "retries": self.resilience.stats.snapshot(),
+            "breaker": self.resilience.breaker.describe(),
+        }
+
     def pause(self) -> None:
         """Temporarily block all workers from executing (paper §4.1.1)."""
         with self._lock:
@@ -355,7 +402,8 @@ class WorkloadManager:
         if now is None:
             now = self.clock.now()
         snapshot = self.results.metrics.snapshot(
-            now, window, queue=self.queue.counters())
+            now, window, queue=self.queue.counters(),
+            resilience=self.resilience_payload())
         snapshot["engine"] = self.benchmark.database.cache_stats()
         with self._lock:
             snapshot.update({

@@ -104,6 +104,22 @@ class RequestQueue:
                 self._not_empty.notify_all()
             return dropped
 
+    def drop_due(self, now: float) -> int:
+        """Shed every request whose arrival time has come (breaker open).
+
+        The dropped requests were offered but deliberately not delivered,
+        so they count as postponed — load shedding therefore preserves
+        ``offered == taken + postponed + depth`` exactly like a phase
+        transition's :meth:`clear`.
+        """
+        with self._not_empty:
+            dropped = 0
+            while self._queue and self._queue[0].arrival_time <= now:
+                self._queue.popleft()
+                dropped += 1
+            self.postponed += dropped
+            return dropped
+
     def counters(self) -> dict[str, int]:
         """Consistent snapshot of the requested-vs-delivered accounting."""
         with self._mutex:

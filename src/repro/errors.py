@@ -85,6 +85,39 @@ class SerializationError(TransactionAborted):
     """Snapshot-isolation first-committer-wins conflict."""
 
 
+class StatementTimeout(TransactionAborted):
+    """The statement/transaction exceeded the resilience policy's timeout."""
+
+
+# --------------------------------------------------------------------------
+# Fault injection (repro.faults)
+# --------------------------------------------------------------------------
+
+
+class InjectedFault(ReproError):
+    """Marker mixin: the error came from the fault injector, not the engine.
+
+    Counters keyed on this distinguish injected failures (which a resilient
+    harness must absorb) from organic engine failures (which it must report).
+    """
+
+    injected = True
+
+
+class InjectedAbort(InjectedFault, TransactionAborted):
+    """An injected transient abort; retryable like any engine abort."""
+
+
+class InjectedLockTimeout(InjectedFault, LockTimeoutError):
+    """An injected deadlock-style lock timeout."""
+
+
+class InjectedDisconnect(InjectedFault, OperationalError):
+    """The injector dropped the connection; reconnect before retrying."""
+
+    retryable = True
+
+
 # --------------------------------------------------------------------------
 # Driver / testbed side
 # --------------------------------------------------------------------------
@@ -104,6 +137,11 @@ class ApiError(ReproError):
 
 class ApiNotFound(ApiError):
     """Unknown route or unregistered tenant (HTTP 404)."""
+
+
+class ApiConflict(ApiError):
+    """The request conflicts with current state (HTTP 409), e.g. creating
+    a tenant that already exists or starting a finished workload."""
 
 
 class ApiMethodNotAllowed(ApiError):

@@ -1,0 +1,27 @@
+"""Deterministic fault injection at the engine connection boundary.
+
+"Chaos" is the fourth control verb of the control plane, next to rate,
+mixture, and think time: every workload owns a seeded
+:class:`FaultInjector` whose :class:`FaultProfile` can be re-tuned
+mid-run through ``PUT /v1/workloads/<tenant>/faults``.  Injected faults
+surface as the same exception types real engine failures use
+(:class:`~repro.errors.TransactionAborted` subclasses and a retryable
+:class:`~repro.errors.InjectedDisconnect`), so the resilience policy in
+``repro.core.resilience`` treats organic and injected failures
+identically.  See docs/faults.md.
+"""
+
+from .connection import CONNECTION_FAULT_KINDS, FaultingConnection
+from .injector import FaultInjector, FaultPlan
+from .profile import (ENV_ABORTS, ENV_DISCONNECTS, ENV_LATENCY,
+                      ENV_LOCK_TIMEOUTS, FAULT_KINDS, FaultProfile,
+                      KIND_ABORT, KIND_DISCONNECT, KIND_LATENCY,
+                      KIND_LOCK_TIMEOUT, default_profile, zero_profile)
+
+__all__ = [
+    "CONNECTION_FAULT_KINDS", "FaultingConnection", "FaultInjector",
+    "FaultPlan", "FaultProfile", "FAULT_KINDS", "KIND_ABORT",
+    "KIND_DISCONNECT", "KIND_LATENCY", "KIND_LOCK_TIMEOUT",
+    "ENV_ABORTS", "ENV_DISCONNECTS", "ENV_LATENCY", "ENV_LOCK_TIMEOUTS",
+    "default_profile", "zero_profile",
+]

@@ -1,0 +1,123 @@
+"""The deterministic fault injector.
+
+One :class:`FaultInjector` per workload, seeded from the workload's
+configured seed via :func:`repro.rand.make_rng` — the fault *schedule*
+(which attempt gets which fault, and at which statement inside the
+transaction it fires) is therefore a pure function of ``(seed, tenant,
+profile, attempt sequence)``: identical runs replay identical faults.
+
+The injector is also the resilience layer's ground truth.  Every
+injected fault is counted per kind and appended to an event log, which
+``benchmarks/bench_resilience.py`` reconciles against the counters the
+control plane reports through ``GET /v1/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from ..rand import make_rng
+from .profile import (FAULT_KINDS, FaultProfile, KIND_ABORT, KIND_DISCONNECT,
+                      KIND_LATENCY, KIND_LOCK_TIMEOUT, zero_profile)
+
+#: Injected faults fire at a statement index drawn from [0, _MAX_STATEMENT];
+#: attempts with fewer statements fire the fault at commit instead, so a
+#: planned fault never silently evaporates.
+_MAX_STATEMENT = 2
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What the injector decided for one transaction attempt."""
+
+    index: int              # global attempt sequence number
+    txn_name: str
+    kind: str               # one of FAULT_KINDS
+    at_statement: int = 0   # statement boundary the fault fires at
+    latency: float = 0.0    # extra seconds, for KIND_LATENCY
+
+
+class FaultInjector:
+    """Per-tenant deterministic fault source with a ground-truth log."""
+
+    def __init__(self, seed: Optional[int] = None, tenant: str = "tenant-0",
+                 profile: Optional[FaultProfile] = None) -> None:
+        self.tenant = tenant
+        self._rng = make_rng(seed, "faults", tenant)
+        self._profile = profile or zero_profile()
+        self._lock = threading.Lock()
+        self._attempts = 0
+        self._injected = {kind: 0 for kind in FAULT_KINDS}
+        self._log: list[FaultPlan] = []
+
+    # -- profile control (the PUT /v1/.../faults verb) ----------------------
+
+    def profile(self) -> FaultProfile:
+        with self._lock:
+            return self._profile
+
+    def set_profile(self, profile: FaultProfile) -> None:
+        with self._lock:
+            self._profile = profile
+
+    # -- the per-attempt decision -------------------------------------------
+
+    def attempt_begin(self, txn_name: str) -> Optional[FaultPlan]:
+        """Decide the fault (if any) for the attempt that is starting.
+
+        A single uniform draw is partitioned by the profile's cumulative
+        probabilities so fault kinds are mutually exclusive and the
+        schedule stays deterministic under a fixed profile.
+        """
+        with self._lock:
+            index = self._attempts
+            self._attempts += 1
+            profile = self._profile
+            if not profile.enabled:
+                return None
+            draw = self._rng.random()
+            acc = 0.0
+            chosen: Optional[str] = None
+            for kind in FAULT_KINDS:
+                acc += profile.probability(kind)
+                if draw < acc:
+                    chosen = kind
+                    break
+            if chosen is None:
+                return None
+            at_statement = self._rng.randint(0, _MAX_STATEMENT)
+            latency = 0.0
+            if chosen == KIND_LATENCY:
+                latency = self._rng.uniform(profile.latency_min,
+                                            profile.latency_max)
+            plan = FaultPlan(index=index, txn_name=txn_name, kind=chosen,
+                             at_statement=at_statement, latency=latency)
+            self._injected[chosen] += 1
+            self._log.append(plan)
+            return plan
+
+    # -- ground truth --------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Injected-fault counts per kind plus totals; the log's summary."""
+        with self._lock:
+            counts = dict(self._injected)
+            counts["total"] = sum(self._injected.values())
+            counts["attempts"] = self._attempts
+            return counts
+
+    def log(self) -> list[FaultPlan]:
+        """Every injected fault, in decision order (copy)."""
+        with self._lock:
+            return list(self._log)
+
+    def schedule(self) -> list[tuple[int, str, str]]:
+        """The (attempt index, txn, kind) triples — the determinism oracle."""
+        with self._lock:
+            return [(p.index, p.txn_name, p.kind) for p in self._log]
+
+
+__all__ = ["FaultInjector", "FaultPlan", "KIND_ABORT", "KIND_DISCONNECT",
+           "KIND_LATENCY", "KIND_LOCK_TIMEOUT"]

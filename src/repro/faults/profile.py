@@ -1,0 +1,157 @@
+"""Fault profiles: the runtime-tunable knobs of the injection layer.
+
+A :class:`FaultProfile` gives each fault kind a per-transaction-attempt
+probability (plus a magnitude for latency spikes).  Profiles are plain
+value objects: the :class:`~repro.faults.injector.FaultInjector` samples
+against whichever profile is installed at the moment an attempt begins,
+which is what makes ``PUT /v1/workloads/<tenant>/faults`` a live control
+verb alongside rate and mixture.
+
+The ``REPRO_CHAOS_*`` environment variables feed :func:`default_profile`
+so an entire test suite can run under a nonzero fault profile without
+touching any call site — that is the CI chaos job's hook (see
+docs/faults.md).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from ..errors import ConfigurationError
+
+#: Fault kinds, in the order the injector partitions the unit interval.
+KIND_ABORT = "abort"
+KIND_LOCK_TIMEOUT = "lock_timeout"
+KIND_DISCONNECT = "disconnect"
+KIND_LATENCY = "latency"
+FAULT_KINDS = (KIND_ABORT, KIND_LOCK_TIMEOUT, KIND_DISCONNECT, KIND_LATENCY)
+
+_PROBABILITY_FIELDS = {
+    KIND_ABORT: "abort_probability",
+    KIND_LOCK_TIMEOUT: "lock_timeout_probability",
+    KIND_DISCONNECT: "disconnect_probability",
+    KIND_LATENCY: "latency_probability",
+}
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-attempt injection probabilities for one tenant.
+
+    At most one fault fires per transaction attempt: the injector draws a
+    single uniform variate and walks the cumulative probabilities, so the
+    kinds are mutually exclusive and their probabilities must sum to at
+    most 1.
+    """
+
+    abort_probability: float = 0.0
+    lock_timeout_probability: float = 0.0
+    disconnect_probability: float = 0.0
+    latency_probability: float = 0.0
+    #: Injected latency spikes are uniform in [min, max] seconds.
+    latency_min: float = 0.05
+    latency_max: float = 0.25
+
+    def __post_init__(self) -> None:
+        for kind, attr in _PROBABILITY_FIELDS.items():
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{attr} must be in [0, 1], got {value!r}")
+        if self.total_probability > 1.0:
+            raise ConfigurationError(
+                "fault probabilities must sum to at most 1, got "
+                f"{self.total_probability!r}")
+        if self.latency_min < 0 or self.latency_max < self.latency_min:
+            raise ConfigurationError(
+                "latency spike bounds must satisfy 0 <= min <= max")
+
+    @property
+    def total_probability(self) -> float:
+        return (self.abort_probability + self.lock_timeout_probability
+                + self.disconnect_probability + self.latency_probability)
+
+    def probability(self, kind: str) -> float:
+        return float(getattr(self, _PROBABILITY_FIELDS[kind]))
+
+    @property
+    def enabled(self) -> bool:
+        return self.total_probability > 0.0
+
+    # -- (de)serialisation for the control plane ----------------------------
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "abort_probability": self.abort_probability,
+            "lock_timeout_probability": self.lock_timeout_probability,
+            "disconnect_probability": self.disconnect_probability,
+            "latency_probability": self.latency_probability,
+            "latency_min": self.latency_min,
+            "latency_max": self.latency_max,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, object]) -> "FaultProfile":
+        known = set(cls().to_dict())
+        unknown = set(raw) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault profile fields: {sorted(unknown)}; "
+                f"known: {sorted(known)}")
+        try:
+            values = {key: float(raw[key]) for key in raw}  # type: ignore
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                "fault profile values must be numbers") from None
+        return cls(**values)
+
+    def updated(self, raw: Mapping[str, object]) -> "FaultProfile":
+        """A copy with the given fields replaced (partial PUT semantics)."""
+        merged = self.to_dict()
+        candidate = FaultProfile.from_dict(raw)  # validates field names
+        for key in raw:
+            merged[key] = getattr(candidate, key)
+        return FaultProfile(**merged)
+
+
+def zero_profile() -> FaultProfile:
+    return FaultProfile()
+
+
+#: Environment knobs read by :func:`default_profile` (the CI chaos hook).
+ENV_ABORTS = "REPRO_CHAOS_ABORTS"
+ENV_LATENCY = "REPRO_CHAOS_LATENCY"
+ENV_LOCK_TIMEOUTS = "REPRO_CHAOS_LOCK_TIMEOUTS"
+ENV_DISCONNECTS = "REPRO_CHAOS_DISCONNECTS"
+
+
+def default_profile() -> FaultProfile:
+    """The profile new workloads start with: zero unless chaos is enabled.
+
+    Each ``REPRO_CHAOS_*`` variable is a probability; unset or
+    unparsable values count as 0, so normal runs are never perturbed.
+    """
+    def env(name: str) -> float:
+        raw = os.environ.get(name, "")
+        try:
+            return float(raw)
+        except ValueError:
+            return 0.0
+
+    profile = FaultProfile()
+    aborts = env(ENV_ABORTS)
+    latency = env(ENV_LATENCY)
+    lock_timeouts = env(ENV_LOCK_TIMEOUTS)
+    disconnects = env(ENV_DISCONNECTS)
+    if aborts or latency or lock_timeouts or disconnects:
+        profile = replace(
+            profile,
+            abort_probability=aborts,
+            latency_probability=latency,
+            lock_timeout_probability=lock_timeouts,
+            disconnect_probability=disconnects,
+            # Chaos runs share real suites; keep spikes short.
+            latency_min=0.001, latency_max=0.01)
+    return profile

@@ -51,6 +51,7 @@ class StreamingMetrics:
         self._errors = 0
         self._postponed = 0
         self._queue: dict[str, int] = {}
+        self._resilience: dict = {}
 
     # -- ingest (one call per sample, O(1)) ---------------------------------
 
@@ -85,6 +86,17 @@ class StreamingMetrics:
         """Snapshot the request queue's offered/taken/postponed/depth."""
         with self._lock:
             self._queue = dict(counters)
+
+    def observe_resilience(self, payload: Mapping[str, object]) -> None:
+        """Snapshot fault-injection / retry / breaker state (side channel).
+
+        Like :meth:`observe_queue`, the authoritative state lives
+        elsewhere (the workload's :class:`~repro.faults.FaultInjector`
+        and :class:`~repro.core.resilience.Resilience`); the streaming
+        view only carries the latest snapshot into the metrics payload.
+        """
+        with self._lock:
+            self._resilience = dict(payload)
 
     # -- feedback queries (O(bins), never O(samples)) -----------------------
 
@@ -139,10 +151,13 @@ class StreamingMetrics:
                     in sorted(self._counts.items())}
 
     def snapshot(self, now: float, window: float = 5.0,
-                 queue: Optional[Mapping[str, int]] = None) -> dict:
+                 queue: Optional[Mapping[str, int]] = None,
+                 resilience: Optional[Mapping[str, object]] = None) -> dict:
         """The full metrics payload served by ``GET .../metrics``."""
         if queue is not None:
             self.observe_queue(queue)
+        if resilience is not None:
+            self.observe_resilience(resilience)
         with self._lock:
             stats = self.window.window_stats(now, window)
             latency = {TOTAL_KEY: self._total.snapshot()}
@@ -171,6 +186,7 @@ class StreamingMetrics:
                 },
                 "latency": latency,
                 "queue": dict(self._queue),
+                "resilience": dict(self._resilience),
                 "bins": self._template.layout(),
             }
 

@@ -13,6 +13,7 @@ end to end.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 import string
@@ -209,7 +210,16 @@ def exponential_interarrival(rng: random.Random, rate: float) -> float:
 
 
 def make_rng(seed: int | None, *salt: object) -> random.Random:
-    """Derive an independent, reproducible RNG from a base seed and salt."""
+    """Derive an independent, reproducible RNG from a base seed and salt.
+
+    The derivation hashes ``repr((seed, *salt))`` with BLAKE2 rather than
+    the built-in ``hash()``: string hashing is randomized per process
+    (PYTHONHASHSEED), which would make every salted stream — arrival
+    schedules, worker RNGs, fault schedules — unreproducible across
+    invocations of the same seed.
+    """
     if seed is None:
         return random.Random()
-    return random.Random(hash((seed, *salt)) & 0xFFFFFFFFFFFF)
+    digest = hashlib.blake2b(repr((seed, *salt)).encode(),
+                             digest_size=6).digest()
+    return random.Random(int.from_bytes(digest, "big"))

@@ -1,0 +1,39 @@
+"""Golden fixture for RP008: exception discipline in retry/fault paths.
+
+Lives under a ``faults/`` directory so the rule's scope heuristic
+applies.  Lines expected to fire carry markers; the bare except also
+trips RP006, which fires on bare excepts everywhere.
+"""
+
+
+class Injector:
+    def attempt(self, run):
+        try:
+            return run()
+        except:  # !RP006 # !RP008
+            return None
+
+    def attempt_broad(self, run):
+        try:
+            return run()
+        except Exception:  # !RP008
+            return None
+
+    def attempt_broad_tuple(self, run):
+        try:
+            return run()
+        except (ValueError, BaseException):  # !RP008
+            return None
+
+    def attempt_named_is_fine(self, run):
+        try:
+            return run()
+        except (ValueError, ConnectionError):
+            return None
+
+    def cleanup_reraise_is_fine(self, run):
+        try:
+            return run()
+        except Exception:
+            run.rollback()
+            raise

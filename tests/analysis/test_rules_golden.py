@@ -26,6 +26,7 @@ FIXTURES = {
     "RP005": GOLDEN / "rp005_bad.py",
     "RP006": GOLDEN / "hot" / "executors.py",
     "RP007": GOLDEN / "metrics" / "stream_bad.py",
+    "RP008": GOLDEN / "faults" / "injector.py",
 }
 
 

@@ -1,0 +1,180 @@
+"""ApiClient resilience: timeouts and retry-with-backoff on transport
+failures, against a deliberately flaky stub server.
+
+The client must retry only *connection-level* failures (refused, reset,
+timed out).  An HTTP error response — any status — is a server decision
+and is never retried.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.api import ApiClient
+from repro.core.resilience import RetryPolicy
+from repro.errors import ApiError, ApiNotFound
+
+
+class _RecordingClock:
+    """Clock stub: captures requested sleeps instead of waiting."""
+
+    def __init__(self) -> None:
+        self.sleeps: list[float] = []
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+
+    def now(self) -> float:
+        return float(len(self.sleeps))
+
+
+class FlakyServer:
+    """Raw-socket HTTP stub that sabotages the first N connections.
+
+    ``failures`` connections are closed without a byte of response
+    (the client sees a reset); with ``stall=True`` they are instead
+    held open silently (the client times out).  Every later request
+    gets the canned ``status``/``payload`` response.
+    """
+
+    def __init__(self, failures: int = 0, status: int = 200,
+                 payload: object = {"ok": True}, stall: bool = False):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.failures = failures
+        self.status = status
+        self.payload = payload
+        self.stall = stall
+        self.connections = 0
+        self._stalled: list[socket.socket] = []
+        self._closing = False
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self._sock.getsockname()[1]}"
+
+    def _serve(self) -> None:
+        while not self._closing:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            if self.connections <= self.failures:
+                if self.stall:
+                    self._stalled.append(conn)  # never answer
+                else:
+                    conn.close()  # immediate reset / EOF
+                continue
+            try:
+                conn.recv(65536)
+                body = json.dumps(self.payload).encode()
+                head = (f"HTTP/1.1 {self.status} Stub\r\n"
+                        "Content-Type: application/json\r\n"
+                        f"Content-Length: {len(body)}\r\n"
+                        "Connection: close\r\n\r\n")
+                conn.sendall(head.encode() + body)
+            finally:
+                conn.close()
+
+    def close(self) -> None:
+        self._closing = True
+        self._sock.close()
+        for conn in self._stalled:
+            conn.close()
+        self._thread.join(timeout=2.0)
+
+
+@pytest.fixture
+def clock():
+    return _RecordingClock()
+
+
+def _client(server, clock, attempts=3, timeout=5.0):
+    policy = RetryPolicy(max_attempts=attempts, backoff_base=0.01,
+                         backoff_multiplier=2.0, backoff_max=1.0,
+                         jitter=0.0)
+    return ApiClient(server.url, timeout=timeout, retry=policy,
+                     clock=clock, seed=1)
+
+
+def test_retry_recovers_from_dropped_connections(clock):
+    server = FlakyServer(failures=2, payload=["t1"])
+    try:
+        client = _client(server, clock)
+        assert client.tenants() == ["t1"]
+        assert server.connections == 3
+        # Exponential backoff between the attempts, through the clock.
+        assert clock.sleeps == pytest.approx([0.01, 0.02])
+    finally:
+        server.close()
+
+
+def test_retries_exhaust_into_api_error(clock):
+    server = FlakyServer(failures=100)
+    try:
+        client = _client(server, clock)
+        with pytest.raises(ApiError) as excinfo:
+            client.tenants()
+        assert "3 attempt" in str(excinfo.value)
+        assert server.connections == 3  # exactly max_attempts, no more
+    finally:
+        server.close()
+
+
+def test_http_errors_are_never_retried(clock):
+    envelope = {"error": {"code": "not_found", "message": "no tenant"}}
+    server = FlakyServer(status=404, payload=envelope)
+    try:
+        client = _client(server, clock)
+        with pytest.raises(ApiNotFound) as excinfo:
+            client.status("ghost")
+        assert "no tenant" in str(excinfo.value)
+        assert server.connections == 1  # a 4xx is an answer, not a fault
+        assert clock.sleeps == []
+    finally:
+        server.close()
+
+
+def test_timeout_is_a_retryable_transport_failure(clock):
+    server = FlakyServer(failures=1, stall=True, payload=["t1"])
+    try:
+        client = _client(server, clock, timeout=0.2)
+        assert client.tenants() == ["t1"]
+        assert server.connections == 2
+        assert len(clock.sleeps) == 1
+    finally:
+        server.close()
+
+
+def test_connection_refused_retries_then_fails(clock):
+    # Bind then close: nothing listens on the port any more.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    client = ApiClient(f"http://127.0.0.1:{port}", timeout=0.2,
+                       retry=RetryPolicy(max_attempts=2,
+                                         backoff_base=0.01, jitter=0.0),
+                       clock=clock, seed=1)
+    with pytest.raises(ApiError):
+        client.tenants()
+    assert clock.sleeps == pytest.approx([0.01])
+
+
+def test_default_policy_retries_connection_failures():
+    # No injected clock: the default RealClock sleeps for real, so keep
+    # the flakiness to a single dropped connection.
+    server = FlakyServer(failures=1, payload=["t1"])
+    try:
+        client = ApiClient(server.url, timeout=1.0, seed=1)
+        assert client.tenants() == ["t1"]
+        assert server.connections == 2
+    finally:
+        server.close()

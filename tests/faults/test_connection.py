@@ -1,0 +1,97 @@
+"""FaultingConnection: statement-boundary firing over the real engine."""
+
+import pytest
+
+from repro.engine import connect
+from repro.errors import (InjectedAbort, InjectedDisconnect,
+                          InjectedLockTimeout)
+from repro.faults import (FaultPlan, FaultingConnection, KIND_ABORT,
+                          KIND_DISCONNECT, KIND_LATENCY, KIND_LOCK_TIMEOUT)
+
+
+@pytest.fixture
+def kv(db):
+    raw = connect(db)
+    cur = raw.cursor()
+    cur.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT NOT NULL)")
+    cur.execute("INSERT INTO kv VALUES (?, ?)", (1, 0))
+    raw.commit()
+    wrapped = FaultingConnection(connect(db))
+    yield wrapped
+    wrapped.close()
+    raw.close()
+
+
+def _plan(kind, at_statement=0):
+    return FaultPlan(index=0, txn_name="Write", kind=kind,
+                     at_statement=at_statement)
+
+
+def test_unarmed_connection_is_transparent(kv):
+    cur = kv.cursor()
+    cur.execute("UPDATE kv SET v = v + 1 WHERE k = ?", (1,))
+    kv.commit()
+    cur.execute("SELECT v FROM kv WHERE k = ?", (1,))
+    assert cur.fetchall()[0][0] == 1
+
+
+def test_abort_fires_at_planned_statement(kv):
+    kv.arm(_plan(KIND_ABORT, at_statement=1))
+    cur = kv.cursor()
+    cur.execute("UPDATE kv SET v = v + 1 WHERE k = ?", (1,))  # statement 0
+    with pytest.raises(InjectedAbort):
+        cur.execute("UPDATE kv SET v = v + 1 WHERE k = ?", (1,))
+    # Firing rolled the transaction back: the first update is gone.
+    kv.rollback()
+    cur = kv.cursor()
+    cur.execute("SELECT v FROM kv WHERE k = ?", (1,))
+    assert cur.fetchall()[0][0] == 0
+
+
+def test_short_transaction_fires_at_commit(kv):
+    kv.arm(_plan(KIND_LOCK_TIMEOUT, at_statement=2))
+    cur = kv.cursor()
+    cur.execute("UPDATE kv SET v = v + 1 WHERE k = ?", (1,))  # statement 0
+    with pytest.raises(InjectedLockTimeout):
+        kv.commit()  # only 1 statement ran; the planned fault still fires
+    kv.rollback()
+
+
+def test_disconnect_sticks_until_reconnect(kv):
+    kv.arm(_plan(KIND_DISCONNECT))
+    cur = kv.cursor()
+    with pytest.raises(InjectedDisconnect):
+        cur.execute("SELECT v FROM kv WHERE k = ?", (1,))
+    assert kv.dropped
+    with pytest.raises(InjectedDisconnect):
+        kv.cursor()  # still dead
+    kv.rollback()  # the failure handler's rollback is always allowed
+    kv.reconnect()
+    assert not kv.dropped
+    cur = kv.cursor()
+    cur.execute("SELECT v FROM kv WHERE k = ?", (1,))
+    assert cur.fetchall()[0][0] == 0
+
+
+def test_plan_is_consumed_by_firing(kv):
+    kv.arm(_plan(KIND_ABORT))
+    cur = kv.cursor()
+    with pytest.raises(InjectedAbort):
+        cur.execute("SELECT v FROM kv WHERE k = ?", (1,))
+    # The retry's statements run clean: the plan fired exactly once.
+    cur = kv.cursor()
+    cur.execute("SELECT v FROM kv WHERE k = ?", (1,))
+    kv.commit()
+
+
+def test_latency_plans_are_rejected(kv):
+    with pytest.raises(ValueError):
+        kv.arm(FaultPlan(index=0, txn_name="Read", kind=KIND_LATENCY))
+
+
+def test_attribute_passthrough(kv):
+    assert kv.in_transaction is False
+    cur = kv.cursor()
+    cur.execute("SELECT v FROM kv WHERE k = ?", (1,))
+    assert kv.in_transaction is True
+    kv.commit()

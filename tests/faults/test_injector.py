@@ -1,0 +1,82 @@
+"""FaultInjector: deterministic schedules and ground-truth accounting."""
+
+from repro.faults import (FaultInjector, FaultProfile, KIND_ABORT,
+                          KIND_LATENCY, zero_profile)
+
+
+def _drive(injector, attempts=200, txn="Read"):
+    return [injector.attempt_begin(txn) for _ in range(attempts)]
+
+
+def test_zero_profile_injects_nothing():
+    injector = FaultInjector(seed=7, profile=zero_profile())
+    plans = _drive(injector)
+    assert plans == [None] * 200
+    counters = injector.counters()
+    assert counters["total"] == 0
+    assert counters["attempts"] == 200
+
+
+def test_same_seed_same_schedule():
+    profile = FaultProfile(abort_probability=0.2,
+                           disconnect_probability=0.1,
+                           latency_probability=0.1)
+    first = FaultInjector(seed=11, tenant="t1", profile=profile)
+    second = FaultInjector(seed=11, tenant="t1", profile=profile)
+    _drive(first)
+    _drive(second)
+    assert first.schedule() == second.schedule()
+    assert first.schedule()  # nonzero profile actually injected
+
+
+def test_different_seed_different_schedule():
+    profile = FaultProfile(abort_probability=0.3)
+    first = FaultInjector(seed=11, tenant="t1", profile=profile)
+    second = FaultInjector(seed=12, tenant="t1", profile=profile)
+    _drive(first)
+    _drive(second)
+    assert first.schedule() != second.schedule()
+
+
+def test_tenant_salts_the_stream():
+    profile = FaultProfile(abort_probability=0.3)
+    first = FaultInjector(seed=11, tenant="t1", profile=profile)
+    second = FaultInjector(seed=11, tenant="t2", profile=profile)
+    _drive(first)
+    _drive(second)
+    assert first.schedule() != second.schedule()
+
+
+def test_certain_fault_fires_every_attempt():
+    injector = FaultInjector(
+        seed=3, profile=FaultProfile(abort_probability=1.0))
+    plans = _drive(injector, attempts=50)
+    assert all(p is not None and p.kind == KIND_ABORT for p in plans)
+    assert injector.counters()[KIND_ABORT] == 50
+
+
+def test_latency_plans_carry_bounded_spikes():
+    profile = FaultProfile(latency_probability=1.0,
+                           latency_min=0.01, latency_max=0.02)
+    injector = FaultInjector(seed=5, profile=profile)
+    for plan in _drive(injector, attempts=50):
+        assert plan.kind == KIND_LATENCY
+        assert 0.01 <= plan.latency <= 0.02
+
+
+def test_counters_reconcile_with_log():
+    profile = FaultProfile(abort_probability=0.2, latency_probability=0.2)
+    injector = FaultInjector(seed=9, profile=profile)
+    _drive(injector, attempts=500)
+    counters = injector.counters()
+    log = injector.log()
+    assert counters["total"] == len(log)
+    for kind in ("abort", "latency"):
+        assert counters[kind] == sum(1 for p in log if p.kind == kind)
+
+
+def test_profile_swap_takes_effect_mid_stream():
+    injector = FaultInjector(seed=2, profile=zero_profile())
+    assert _drive(injector, attempts=20) == [None] * 20
+    injector.set_profile(FaultProfile(abort_probability=1.0))
+    assert all(p is not None for p in _drive(injector, attempts=20))

@@ -1,0 +1,94 @@
+"""FaultProfile: validation, partial updates, and the chaos env hook."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (ENV_ABORTS, ENV_DISCONNECTS, ENV_LATENCY,
+                          ENV_LOCK_TIMEOUTS, FaultProfile,
+                          default_profile, zero_profile)
+
+ALL_ENV = (ENV_ABORTS, ENV_LATENCY, ENV_LOCK_TIMEOUTS, ENV_DISCONNECTS)
+
+
+def _clear_env(monkeypatch):
+    for var in ALL_ENV:
+        monkeypatch.delenv(var, raising=False)
+
+
+def test_zero_profile_is_disabled():
+    profile = zero_profile()
+    assert not profile.enabled
+    assert profile.total_probability == 0.0
+
+
+def test_probability_bounds_validated():
+    with pytest.raises(ConfigurationError):
+        FaultProfile(abort_probability=1.5)
+    with pytest.raises(ConfigurationError):
+        FaultProfile(latency_probability=-0.1)
+
+
+def test_probabilities_must_sum_to_at_most_one():
+    with pytest.raises(ConfigurationError):
+        FaultProfile(abort_probability=0.6, disconnect_probability=0.6)
+
+
+def test_latency_bounds_validated():
+    with pytest.raises(ConfigurationError):
+        FaultProfile(latency_min=0.5, latency_max=0.1)
+    with pytest.raises(ConfigurationError):
+        FaultProfile(latency_min=-0.1)
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ConfigurationError) as excinfo:
+        FaultProfile.from_dict({"abort_probability": 0.1, "bogus": 1})
+    assert "bogus" in str(excinfo.value)
+
+
+def test_from_dict_rejects_non_numbers():
+    with pytest.raises(ConfigurationError):
+        FaultProfile.from_dict({"abort_probability": "lots"})
+
+
+def test_updated_is_a_partial_put():
+    base = FaultProfile(abort_probability=0.1, latency_min=0.2,
+                        latency_max=0.4)
+    updated = base.updated({"abort_probability": 0.3})
+    assert updated.abort_probability == 0.3
+    assert updated.latency_min == 0.2  # untouched fields survive
+    assert base.abort_probability == 0.1  # immutable value object
+
+
+def test_updated_validates_the_merged_profile():
+    base = FaultProfile(abort_probability=0.6)
+    with pytest.raises(ConfigurationError):
+        base.updated({"disconnect_probability": 0.6})
+
+
+def test_round_trip_through_dict():
+    profile = FaultProfile(abort_probability=0.05,
+                           latency_probability=0.1)
+    assert FaultProfile.from_dict(profile.to_dict()) == profile
+
+
+def test_default_profile_is_zero_without_env(monkeypatch):
+    _clear_env(monkeypatch)
+    assert not default_profile().enabled
+
+
+def test_default_profile_reads_chaos_env(monkeypatch):
+    _clear_env(monkeypatch)
+    monkeypatch.setenv(ENV_ABORTS, "0.05")
+    monkeypatch.setenv(ENV_LATENCY, "0.02")
+    profile = default_profile()
+    assert profile.abort_probability == 0.05
+    assert profile.latency_probability == 0.02
+    # Chaos runs share real suites: spikes are kept short.
+    assert profile.latency_max <= 0.01
+
+
+def test_default_profile_ignores_garbage_env(monkeypatch):
+    _clear_env(monkeypatch)
+    monkeypatch.setenv(ENV_ABORTS, "not-a-number")
+    assert not default_profile().enabled

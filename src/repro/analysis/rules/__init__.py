@@ -45,6 +45,7 @@ def all_rules() -> list[Rule]:
 
 # Importing the modules registers the rules.
 from . import (lockdiscipline, registration, retrypath,  # noqa: E402,F401
-               rng, sqlvalidity, streamingcopy, swallowed, wallclock)
+               rng, sqlvalidity, streamingcopy, swallowed, wallclock,
+               workerloop)
 
 __all__ = ["Rule", "RULES", "register", "all_rules"]

@@ -21,8 +21,8 @@ from . import Rule, register
 
 #: Modules whose transaction/locking paths must not swallow errors.
 HOT_PATH_FILES = {
-    "executors.py", "requestqueue.py", "executor.py", "database.py",
-    "txn.py", "locks.py", "storage.py",
+    "executors.py", "requestqueue.py", "procexec.py", "executor.py",
+    "database.py", "txn.py", "locks.py", "storage.py",
 }
 _BROAD = {"Exception", "BaseException"}
 

@@ -1,0 +1,68 @@
+"""RP009 — no per-sample lock traffic inside worker loops.
+
+The driver's worker hot path executes thousands of transactions per
+second per thread; a call to ``Results.record()`` or
+``StreamingMetrics.observe()`` from inside it acquires the shared
+results lock *and* the metrics lock once per sample, which is exactly
+the cross-worker contention the batched recorders
+(:class:`repro.core.results.SampleBuffer`) exist to eliminate.  Worker
+loops and per-request execute methods in ``repro.core`` must go through
+a worker-local buffered recorder (``recorder.add(...)`` + epoch
+flushes); direct per-sample recording is flagged here so the regression
+fails in lint, not in a queue-scaling chart.
+
+Scope: functions in ``core/`` whose name contains ``worker`` or is
+``_execute`` — the per-request paths of the execution substrates.
+Orchestration code (tickers, completion callbacks of the simulated
+executor, the manager's control plane) is exempt: it runs per event or
+per second, not per sample under contention.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..diagnostics import Diagnostic
+from . import Rule, register
+
+#: Per-sample entry points that take a shared lock on every call.
+_PER_SAMPLE_CALLS = {"record", "observe"}
+_SCOPE_DIR = "core"
+
+
+def _in_scope(name: str) -> bool:
+    return "worker" in name or name == "_execute"
+
+
+@register
+class WorkerLoopRecordRule(Rule):
+    rule_id = "RP009"
+    title = "per-sample locking in worker loops"
+    rationale = (
+        "Worker hot loops must record samples through a worker-local "
+        "buffered recorder; calling Results.record()/metrics.observe() "
+        "per transaction serialises every worker on two shared locks "
+        "and caps delivered throughput.")
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.in_directory(_SCOPE_DIR):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if not _in_scope(node.name):
+                continue
+            for inner in ast.walk(node):
+                if (isinstance(inner, ast.Call)
+                        and isinstance(inner.func, ast.Attribute)
+                        and inner.func.attr in _PER_SAMPLE_CALLS):
+                    yield ctx.diag(
+                        inner, self.rule_id,
+                        f"per-sample .{inner.func.attr}() call inside "
+                        f"worker-path function {node.name!r}; use a "
+                        "worker-local buffered recorder "
+                        "(Results.buffered() / recorder.add) and flush "
+                        "in epochs")

@@ -52,6 +52,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=42)
     run.add_argument("--config", help="JSON workload configuration file "
                                       "(overrides rate/duration)")
+    run.add_argument("--queue-shards", type=int, default=None,
+                     metavar="N",
+                     help="shard the request queue N ways (default: "
+                          "$REPRO_QUEUE_SHARDS or 1)")
+    run.add_argument("--take-batch", type=int, default=None, metavar="N",
+                     help="workers dequeue up to N due requests per queue "
+                          "visit (threaded executor only; default: "
+                          "$REPRO_TAKE_BATCH or 16)")
     run.add_argument("--threaded", action="store_true",
                      help="run live worker threads instead of simulating")
     run.add_argument("--trace", help="write the raw per-txn trace CSV here")
@@ -174,8 +182,9 @@ def cmd_run(args) -> int:
                           rate=_parse_rate(args.rate))])
 
     if args.threaded:
-        manager = WorkloadManager(bench, config)
-        executor = ThreadedExecutor(db)
+        executor = ThreadedExecutor(db, take_batch=args.take_batch)
+        manager = WorkloadManager(bench, config,
+                                  queue_shards=args.queue_shards)
         executor.add_workload(manager)
         _apply_chaos(manager, args)
         run_report = executor.run(timeout=config.total_duration() + 30)
@@ -183,7 +192,8 @@ def cmd_run(args) -> int:
             print(f"warning: {run_report['error']}", file=sys.stderr)
     else:
         clock = SimClock()
-        manager = WorkloadManager(bench, config, clock=clock)
+        manager = WorkloadManager(bench, config, clock=clock,
+                                  queue_shards=args.queue_shards)
         executor = SimulatedExecutor(db, args.dbms, clock)
         executor.add_workload(manager)
         _apply_chaos(manager, args)

@@ -4,9 +4,11 @@ from .benchmark import (BenchmarkModule, CLASS_FEATURE, CLASS_TRANSACTIONAL,
                         CLASS_WEB)
 from .collector import StatisticsCollector
 from .config import WorkloadConfiguration
-from .executors import SimulatedExecutor, ThreadedExecutor
+from .executors import (SimulatedExecutor, ThreadedExecutor,
+                        default_take_batch)
 from .manager import WorkloadManager
 from .multitenant import MultiTenantCoordinator, Tenant
+from .procexec import ProcessExecutor, TenantSpec
 from .phase import (ARRIVAL_EXPONENTIAL, ARRIVAL_UNIFORM, Phase,
                     RATE_DISABLED, RATE_UNLIMITED, UNLIMITED_RATE_CONSTANT,
                     normalize_weights)
@@ -14,15 +16,19 @@ from .procedure import Procedure, UserAbort
 from .rates import ArrivalSchedule
 from .replay import (phases_from_csv, phases_from_results,
                      phases_from_series)
-from .requestqueue import POLICY_BACKLOG, POLICY_CAP, Request, RequestQueue
-from .results import (LatencySample, Results, STATUS_ABORTED, STATUS_ERROR,
-                      STATUS_OK, merge, percentile)
+from .requestqueue import (POLICY_BACKLOG, POLICY_CAP, Request,
+                           RequestQueue, default_shards)
+from .results import (DirectRecorder, LatencySample, Results, SampleBuffer,
+                      STATUS_ABORTED, STATUS_ERROR, STATUS_OK, merge,
+                      percentile)
 
 __all__ = [
     "BenchmarkModule", "CLASS_FEATURE", "CLASS_TRANSACTIONAL", "CLASS_WEB",
     "StatisticsCollector", "WorkloadConfiguration",
-    "SimulatedExecutor", "ThreadedExecutor",
+    "SimulatedExecutor", "ThreadedExecutor", "default_take_batch",
     "WorkloadManager", "MultiTenantCoordinator", "Tenant",
+    "ProcessExecutor", "TenantSpec",
+    "default_shards", "SampleBuffer", "DirectRecorder",
     "ARRIVAL_EXPONENTIAL", "ARRIVAL_UNIFORM", "Phase",
     "RATE_DISABLED", "RATE_UNLIMITED", "UNLIMITED_RATE_CONSTANT",
     "normalize_weights", "Procedure", "UserAbort", "ArrivalSchedule",

@@ -45,6 +45,9 @@ class BenchmarkModule:
         #: (e.g. number of warehouses, accounts, users).
         self.params: dict[str, object] = {}
         self._loaded = False
+        self._procedure_classes = {proc.txn_name(): proc
+                                   for proc in self.procedures}
+        self._procedure_cache: dict[str, Procedure] = {}
 
     # -- hooks subclasses implement ------------------------------------------
 
@@ -105,11 +108,22 @@ class BenchmarkModule:
         return [proc.txn_name() for proc in self.procedures]
 
     def make_procedure(self, txn_name: str) -> Procedure:
-        for proc_cls in self.procedures:
-            if proc_cls.txn_name() == txn_name:
-                return proc_cls(self.params)
-        raise BenchmarkError(
-            f"benchmark {self.name!r} has no transaction {txn_name!r}")
+        # Dict dispatch + instance reuse: this runs once per executed
+        # transaction, so both a linear scan over the procedure classes
+        # and a fresh instantiation per call are measurable hot-path
+        # overhead at driver-capacity rates.  ``params`` is only ever
+        # mutated in place, so cached instances observe loader updates.
+        proc = self._procedure_cache.get(txn_name)
+        if proc is not None:
+            return proc
+        proc_cls = self._procedure_classes.get(txn_name)
+        if proc_cls is None:
+            raise BenchmarkError(
+                f"benchmark {self.name!r} has no transaction {txn_name!r}")
+        proc = proc_cls(self.params)
+        if proc_cls.reusable:
+            self._procedure_cache[txn_name] = proc
+        return proc
 
     def default_weights(self) -> dict[str, float]:
         weights = {proc.txn_name(): proc.default_weight

@@ -24,6 +24,7 @@ the same simulated capacity.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 from typing import Optional
 
@@ -36,10 +37,32 @@ from ..faults import FaultingConnection
 from ..rand import make_rng
 from .manager import STATE_CREATED, WorkloadManager
 from .requestqueue import Request
-from .resilience import run_with_resilience
-from .results import LatencySample
+from .resilience import _attempt, run_with_resilience
+from .results import DirectRecorder, LatencySample
 
 _TOKENS = itertools.count(1)
+
+#: Environment override for the default per-take batch limit.
+TAKE_BATCH_ENV = "REPRO_TAKE_BATCH"
+_MAX_TAKE_BATCH = 1024
+_DEFAULT_TAKE_BATCH = 16
+
+
+def default_take_batch() -> int:
+    """Per-take batch limit from ``REPRO_TAKE_BATCH`` (default 16)."""
+    raw = os.environ.get(TAKE_BATCH_ENV, "").strip()
+    if not raw:
+        return _DEFAULT_TAKE_BATCH
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{TAKE_BATCH_ENV} must be an integer, got {raw!r}") from None
+    if not 1 <= value <= _MAX_TAKE_BATCH:
+        raise ConfigurationError(
+            f"{TAKE_BATCH_ENV} must be in [1, {_MAX_TAKE_BATCH}], "
+            f"got {value}")
+    return value
 
 
 def _resilient_connect(database: Database, isolation) -> FaultingConnection:
@@ -58,14 +81,34 @@ def _resilient_connect(database: Database, isolation) -> FaultingConnection:
 
 
 class ThreadedExecutor:
-    """Runs workloads with real worker threads over wall-clock time."""
+    """Runs workloads with real worker threads over wall-clock time.
+
+    The worker hot path is batched: each queue visit pulls up to
+    ``take_batch`` due requests in one lock/condvar round-trip, and each
+    completed transaction lands in a worker-local
+    :class:`~repro.core.results.SampleBuffer` that flushes into the
+    streaming metrics pipeline in epochs.  ``take_batch=1`` plus
+    ``buffer_samples=False`` reproduces the seed driver's per-request,
+    per-sample locking exactly (the baseline mode of
+    ``benchmarks/bench_queue_scaling.py``).
+    """
 
     def __init__(self, database: Database,
                  personality: Optional[DbmsPersonality] = None,
-                 clock: Optional[Clock] = None) -> None:
+                 clock: Optional[Clock] = None,
+                 take_batch: Optional[int] = None,
+                 buffer_samples: bool = True) -> None:
+        if take_batch is None:
+            take_batch = default_take_batch()
+        if not 1 <= take_batch <= _MAX_TAKE_BATCH:
+            raise ConfigurationError(
+                f"take_batch must be in [1, {_MAX_TAKE_BATCH}], "
+                f"got {take_batch}")
         self.database = database
         self.personality = personality
         self.clock = clock or RealClock()
+        self.take_batch = take_batch
+        self.buffer_samples = buffer_samples
         self.tracker = LoadTracker()
         self._workloads: list[tuple[WorkloadManager, int]] = []
         self._threads: list[threading.Thread] = []
@@ -164,26 +207,56 @@ class ThreadedExecutor:
         retry_rng = make_rng(manager.config.seed, "retry", manager.tenant,
                              worker_id)
         sleeper = StoppableSleeper()
+        # Worker-local sample recorder: per-sample appends, epoch flushes.
+        # Flushed whenever the worker idles (empty queue, pause, breaker
+        # backoff) and on exit, so samples never outlive the worker.
+        recorder = (manager.results.buffered() if self.buffer_samples
+                    else DirectRecorder(manager.results))
         try:
             while not self._stop.is_set() and not manager.finished:
                 if manager.paused or not manager.worker_enabled(worker_id):
+                    recorder.flush()
                     self._stop.wait(0.01)
                     continue
                 if not manager.breaker_allows():
                     # Breaker open: shed due requests (counted postponed)
                     # instead of executing them, then back off briefly.
+                    recorder.flush()
                     manager.shed_breaker_open()
                     self._stop.wait(0.02)
                     continue
+                think = manager.current_think_time()
                 if manager.closed_loop:
-                    request = Request(self.clock.now(), 0)
+                    batch = [Request(self.clock.now(), 0)]
                 else:
-                    request = manager.queue.take(timeout=0.2)
-                    if request is None:
+                    # Thinking workers take one request at a time (they
+                    # must sleep between transactions anyway); throughput
+                    # workers amortize the lock/condvar round-trip over
+                    # up to ``take_batch`` due requests.
+                    limit = 1 if think > 0 else self.take_batch
+                    batch = manager.queue.take_batch(limit, timeout=0.2)
+                    if not batch:
+                        recorder.flush()
                         continue
+                # One bypass check per batch: with retries, timeouts,
+                # faults, and the breaker all off, every request is a
+                # single bare attempt, so skip the resilience loop's
+                # per-transaction locks and bulk-record the attempt
+                # count instead.  Reconfiguration (PUT /v1/retries,
+                # /v1/faults) takes effect at the next batch boundary.
+                fast = (self.personality is None
+                        and not manager.faults.armed
+                        and manager.resilience.bypass_eligible())
+                fast_attempts = 0
                 try:
-                    self._execute(manager, worker_id, conn, rng, retry_rng,
-                                  request)
+                    for request in batch:
+                        if fast:
+                            self._execute_fast(manager, worker_id, conn,
+                                               rng, request, recorder)
+                            fast_attempts += 1
+                        else:
+                            self._execute(manager, worker_id, conn, rng,
+                                          retry_rng, request, recorder)
                 except Exception:
                     # Engine errors are converted to STATUS_ERROR samples
                     # inside _execute; anything reaching here is a harness
@@ -192,29 +265,54 @@ class ThreadedExecutor:
                     # workload before letting the excepthook report it.
                     manager.stop()
                     raise
-                think = manager.current_think_time()
+                finally:
+                    if fast_attempts:
+                        manager.resilience.stats.record_attempts(
+                            fast_attempts)
                 if think > 0:
                     sleeper.sleep(think)
         finally:
+            recorder.flush()
             conn.close()
 
+    def _execute_fast(self, manager: WorkloadManager, worker_id: int,
+                      conn, rng, request: Request, recorder) -> None:
+        """Single bare attempt; semantically ``_execute`` for the case the
+        caller already proved: no personality (tracker output unused), no
+        retries or timeouts, faults disarmed, breaker off.  Attempt counts
+        are bulk-recorded per batch by the worker loop."""
+        txn_name = manager.sample_txn_name(rng)
+        proc = manager.benchmark.make_procedure(txn_name)
+        started = self.clock.now()
+        status, _exc = _attempt(proc, conn, rng)
+        elapsed = self.clock.now() - started
+        recorder.add(LatencySample(
+            txn_name=txn_name, start=request.arrival_time,
+            queue_delay=max(0.0, started - request.arrival_time),
+            latency=elapsed, status=status,
+            worker_id=worker_id, tenant=manager.tenant))
+
     def _execute(self, manager: WorkloadManager, worker_id: int, conn, rng,
-                 retry_rng, request: Request) -> None:
+                 retry_rng, request: Request, recorder) -> None:
         txn_name = manager.sample_txn_name(rng)
         proc = manager.benchmark.make_procedure(txn_name)
         started = self.clock.now()
         queue_delay = max(0.0, started - request.arrival_time)
-        token = next(_TOKENS)
-        self.tracker.started(token, not proc.read_only)
+        # The load tracker only feeds the personality's service-time
+        # model; skip its two lock round-trips when there is none.
+        track = self.personality is not None
+        if track:
+            token = next(_TOKENS)
+            self.tracker.started(token, not proc.read_only)
         try:
             outcome = run_with_resilience(
                 proc, txn_name, conn, rng, clock=self.clock,
                 resilience=manager.resilience, injector=manager.faults,
-                retry_rng=retry_rng,
-                waiter=lambda seconds: self._stop.wait(seconds))
+                retry_rng=retry_rng, waiter=self._stop.wait)
             status = outcome.status
         finally:
-            self.tracker.finished(token)
+            if track:
+                self.tracker.finished(token)
         elapsed = self.clock.now() - started
         if self.personality is not None:
             stats = conn.last_txn_stats
@@ -226,7 +324,7 @@ class ThreadedExecutor:
             if elapsed < target:
                 self.clock.sleep(target - elapsed)
                 elapsed = self.clock.now() - started
-        manager.record(LatencySample(
+        recorder.add(LatencySample(
             txn_name=txn_name, start=request.arrival_time,
             queue_delay=queue_delay, latency=elapsed, status=status,
             worker_id=worker_id, tenant=manager.tenant))

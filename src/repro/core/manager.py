@@ -47,14 +47,16 @@ class WorkloadManager:
                  config: WorkloadConfiguration,
                  clock: Optional[Clock] = None,
                  results: Optional[Results] = None,
-                 queue_policy: str = POLICY_CAP) -> None:
+                 queue_policy: str = POLICY_CAP,
+                 queue_shards: Optional[int] = None) -> None:
         if not config.phases:
             raise ConfigurationError("configuration has no phases")
         config.validated_against(benchmark.procedure_names())
         self.benchmark = benchmark
         self.config = config
         self.clock = clock or RealClock()
-        self.queue = RequestQueue(clock=self.clock, policy=queue_policy)
+        self.queue = RequestQueue(clock=self.clock, policy=queue_policy,
+                                  shards=queue_shards)
         self.results = results or Results()
         self.tenant = config.tenant
 
@@ -354,11 +356,19 @@ class WorkloadManager:
     # ------------------------------------------------------------------
 
     def sample_txn_name(self, rng: random.Random) -> str:
-        with self._lock:
-            if self._mixture is None:
-                self._rebuild_mixture()
-            assert self._mixture is not None
-            return str(self._mixture.sample(rng))
+        # Lock-free fast path: a DiscreteDistribution is immutable after
+        # construction and weight changes swap in a whole new instance
+        # (atomic reference assignment), so workers may sample whichever
+        # mixture they observe without serialising on the manager lock —
+        # this runs once per executed transaction.
+        mixture = self._mixture
+        if mixture is None:
+            with self._lock:
+                if self._mixture is None:
+                    self._rebuild_mixture()
+                mixture = self._mixture
+            assert mixture is not None
+        return str(mixture.sample(rng))
 
     def record(self, sample: LatencySample) -> None:
         self.results.record(sample)
@@ -402,9 +412,11 @@ class WorkloadManager:
         if now is None:
             now = self.clock.now()
         snapshot = self.results.metrics.snapshot(
-            now, window, queue=self.queue.counters(),
+            now, window,
+            queue={**self.queue.counters(), "shards": self.queue.shards},
             resilience=self.resilience_payload())
         snapshot["engine"] = self.benchmark.database.cache_stats()
+        snapshot["recording"] = self.results.recorder_stats()
         with self._lock:
             snapshot.update({
                 "benchmark": self.benchmark.name,

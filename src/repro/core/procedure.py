@@ -40,6 +40,12 @@ class Procedure:
     read_only: ClassVar[bool] = False
     #: Default mixture weight (percent) used when a phase omits weights.
     default_weight: ClassVar[float] = 0.0
+    #: Stateless procedures (all of this repo's: ``run`` touches only its
+    #: arguments and the read-only ``params``) are instantiated once per
+    #: benchmark and reused across workers.  Subclasses that keep mutable
+    #: per-instance state must set this False to get a fresh instance per
+    #: executed transaction.
+    reusable: ClassVar[bool] = True
 
     def __init__(self, params: Mapping[str, object]) -> None:
         #: Loader-derived benchmark parameters (e.g. warehouse count).

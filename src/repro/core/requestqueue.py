@@ -20,13 +20,40 @@ Two backlog policies are implemented (the postponement ablation):
 
 A request may also never be taken before its scheduled arrival timestamp;
 this is what spreads execution uniformly/exponentially within each second.
+
+Sharding
+--------
+
+The queue is *logically* centralized (one accounting domain, one control
+surface) but *physically* sharded: requests are distributed round-robin by
+sequence number over N per-shard deques, each behind its own lock, so at
+high target rates producers and consumers stop serializing on a single
+mutex.  The shard count comes from the ``shards`` argument or the
+``REPRO_QUEUE_SHARDS`` environment variable (default 1, the paper-faithful
+layout).  Because assignment is round-robin over globally arrival-sorted
+batches, every shard's deque stays sorted by arrival time, and cap-policy
+shedding per shard removes exactly the same request set a single deque
+would — the global invariant
+
+    offered == taken + postponed + depth
+
+holds for any shard count, and the postponement counts are *identical* to
+the single-queue layout on the same schedule (proved by the equivalence
+oracle in ``benchmarks/bench_queue_scaling.py``).
+
+Wakeup discipline: blocking takers synchronize on one condition variable
+(``_not_empty``) guarded by a generation counter — producers bump the
+generation and ``notify(len(batch))`` (proportional to the work added, not
+``notify_all``), and a taker that scanned the shards re-checks the
+generation before parking, so no wakeup is ever lost.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import deque
-from dataclasses import dataclass
+from contextlib import ExitStack
 from typing import Optional
 
 from ..clock import Clock, RealClock
@@ -35,33 +62,98 @@ from ..errors import ConfigurationError
 POLICY_CAP = "cap"
 POLICY_BACKLOG = "backlog"
 
+#: Environment override for the default shard count.
+SHARDS_ENV = "REPRO_QUEUE_SHARDS"
+_MAX_SHARDS = 64
 
-@dataclass(frozen=True)
+
+def default_shards() -> int:
+    """Shard count from ``REPRO_QUEUE_SHARDS`` (default 1)."""
+    raw = os.environ.get(SHARDS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{SHARDS_ENV} must be an integer, got {raw!r}") from None
+    if not 1 <= value <= _MAX_SHARDS:
+        raise ConfigurationError(
+            f"{SHARDS_ENV} must be in [1, {_MAX_SHARDS}], got {value}")
+    return value
+
+
 class Request:
-    """One unit of work: execute a transaction sampled from the mixture."""
+    """One unit of work: execute a transaction sampled from the mixture.
 
-    arrival_time: float
-    seq: int
+    A hand-rolled ``__slots__`` class: one instance is created per
+    offered request, and at driver-capacity offer rates the frozen-
+    dataclass constructor (``object.__setattr__`` per field) is
+    measurable pacer-side overhead.
+    """
+
+    __slots__ = ("arrival_time", "seq")
+
+    def __init__(self, arrival_time: float, seq: int) -> None:
+        self.arrival_time = arrival_time
+        self.seq = seq
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Request):
+            return NotImplemented
+        return (self.arrival_time, self.seq) == \
+            (other.arrival_time, other.seq)
+
+    def __hash__(self) -> int:
+        return hash((self.arrival_time, self.seq))
+
+    def __repr__(self) -> str:
+        return f"Request(arrival_time={self.arrival_time!r}, " \
+               f"seq={self.seq!r})"
+
+
+class _Shard:
+    """One lock-protected deque plus its slice of the accounting."""
+
+    __slots__ = ("lock", "queue", "offered", "taken", "postponed")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.queue: deque[Request] = deque()
+        self.offered = 0
+        self.taken = 0
+        self.postponed = 0
 
 
 class RequestQueue:
     """Thread-safe central queue with scheduled arrival times."""
 
     def __init__(self, clock: Optional[Clock] = None,
-                 policy: str = POLICY_CAP) -> None:
+                 policy: str = POLICY_CAP,
+                 shards: Optional[int] = None) -> None:
         if policy not in (POLICY_CAP, POLICY_BACKLOG):
             raise ConfigurationError(f"unknown queue policy {policy!r}")
+        if shards is None:
+            shards = default_shards()
+        if not 1 <= shards <= _MAX_SHARDS:
+            raise ConfigurationError(
+                f"shards must be in [1, {_MAX_SHARDS}], got {shards}")
         self.policy = policy
         self.clock = clock or RealClock()
+        self.shards = shards
+        self._shards = [_Shard() for _ in range(shards)]
+        # Control state (pause/shutdown) and the taker parking lot.  The
+        # generation counter increments on every event that could unblock
+        # a taker; a taker re-checks it between scanning the shards and
+        # parking, which closes the lost-wakeup window without requiring
+        # producers to hold more than one lock at a time.
         self._mutex = threading.Lock()
         self._not_empty = threading.Condition(self._mutex)
-        self._queue: deque[Request] = deque()
+        self._gen = 0
         self._seq = 0
         self._paused = False
         self._shutdown = False
-        self.offered = 0
-        self.taken = 0
-        self.postponed = 0
+        self._rotor = 0  # take_batch fairness: rotating start shard
 
     # -- producer side (Workload Manager) ----------------------------------
 
@@ -69,23 +161,45 @@ class RequestQueue:
         """Add one second's worth of requests; returns number postponed.
 
         Under the ``cap`` policy, requests from previous batches that are
-        already past their arrival time but unserved are shed first.
+        already past their arrival time but unserved are shed first.  The
+        batch is partitioned round-robin across the shards and each shard
+        is updated in a single lock acquisition — one pass per shard, no
+        matter how large the second's batch is.
         """
+        if not arrivals:
+            return 0
+        with self._mutex:
+            base_seq = self._seq
+            self._seq += len(arrivals)
+        nshards = self.shards
+        batch_start = arrivals[0]
+        shed_cap = self.policy == POLICY_CAP
+        total_shed = 0
+        for index, shard in enumerate(self._shards):
+            # Round-robin by global sequence number: request i of this
+            # batch (seq base_seq + 1 + i) lands on shard (base_seq + i)
+            # mod N, keeping every shard's deque sorted by arrival time.
+            first = (index - base_seq) % nshards
+            slice_ = [Request(arrivals[i], base_seq + 1 + i)
+                      for i in range(first, len(arrivals), nshards)]
+            with shard.lock:
+                if shed_cap:
+                    pending = shard.queue
+                    while pending and \
+                            pending[0].arrival_time < batch_start:
+                        pending.popleft()
+                        shard.postponed += 1
+                        total_shed += 1
+                if slice_:
+                    shard.queue.extend(slice_)
+                    shard.offered += len(slice_)
         with self._not_empty:
-            shed = 0
-            if self.policy == POLICY_CAP and arrivals:
-                batch_start = arrivals[0]
-                while self._queue and self._queue[0].arrival_time < batch_start:
-                    self._queue.popleft()
-                    shed += 1
-            for when in arrivals:
-                self._seq += 1
-                self._queue.append(Request(when, self._seq))
-            self.offered += len(arrivals)
-            self.postponed += shed
-            if arrivals:
-                self._not_empty.notify_all()
-            return shed
+            self._gen += 1
+            # Proportional wakeup: at most len(arrivals) takers can make
+            # progress on this batch, so waking more only recreates the
+            # notify_all thundering herd the shards exist to avoid.
+            self._not_empty.notify(len(arrivals))
+        return total_shed
 
     def clear(self) -> int:
         """Drop all pending requests (phase transition with rate change).
@@ -94,15 +208,25 @@ class RequestQueue:
         they count as postponed — otherwise offered/taken/postponed
         accounting silently drifts on every rate-changing transition.
         Blocked :meth:`take` callers are woken so they re-check state
-        instead of sleeping until a cleared request's arrival time.
+        instead of sleeping until a cleared request's arrival time.  All
+        shard locks are held together so the drop is atomic against
+        concurrent offers.
         """
-        with self._not_empty:
-            dropped = len(self._queue)
-            self._queue.clear()
-            self.postponed += dropped
-            if dropped:
+        dropped = 0
+        with ExitStack() as stack:
+            # Shard locks nest in index order only (lockwatch-clean).
+            for shard in self._shards:
+                stack.enter_context(shard.lock)
+            for shard in self._shards:
+                count = len(shard.queue)
+                shard.queue.clear()
+                shard.postponed += count
+                dropped += count
+        if dropped:
+            with self._not_empty:
+                self._gen += 1
                 self._not_empty.notify_all()
-            return dropped
+        return dropped
 
     def drop_due(self, now: float) -> int:
         """Shed every request whose arrival time has come (breaker open).
@@ -112,23 +236,53 @@ class RequestQueue:
         ``offered == taken + postponed + depth`` exactly like a phase
         transition's :meth:`clear`.
         """
-        with self._not_empty:
-            dropped = 0
-            while self._queue and self._queue[0].arrival_time <= now:
-                self._queue.popleft()
-                dropped += 1
-            self.postponed += dropped
-            return dropped
+        dropped = 0
+        for shard in self._shards:
+            with shard.lock:
+                pending = shard.queue
+                while pending and pending[0].arrival_time <= now:
+                    pending.popleft()
+                    shard.postponed += 1
+                    dropped += 1
+        return dropped
 
     def counters(self) -> dict[str, int]:
-        """Consistent snapshot of the requested-vs-delivered accounting."""
-        with self._mutex:
+        """Consistent snapshot of the requested-vs-delivered accounting.
+
+        All shard locks are held together, so the four numbers always
+        satisfy ``offered == taken + postponed + depth`` exactly.
+        """
+        with ExitStack() as stack:
+            for shard in self._shards:
+                stack.enter_context(shard.lock)
             return {
-                "offered": self.offered,
-                "taken": self.taken,
-                "postponed": self.postponed,
-                "depth": len(self._queue),
+                "offered": sum(s.offered for s in self._shards),
+                "taken": sum(s.taken for s in self._shards),
+                "postponed": sum(s.postponed for s in self._shards),
+                "depth": sum(len(s.queue) for s in self._shards),
             }
+
+    def shard_depths(self) -> list[int]:
+        """Per-shard queue depths (metrics surfacing; racy but cheap)."""
+        depths = []
+        for shard in self._shards:
+            with shard.lock:
+                depths.append(len(shard.queue))
+        return depths
+
+    # -- aggregate counters (read as attributes by tests/reports) ----------
+
+    @property
+    def offered(self) -> int:
+        return sum(s.offered for s in self._shards)
+
+    @property
+    def taken(self) -> int:
+        return sum(s.taken for s in self._shards)
+
+    @property
+    def postponed(self) -> int:
+        return sum(s.postponed for s in self._shards)
 
     # -- consumer side (workers) -----------------------------------------------
 
@@ -140,42 +294,126 @@ class RequestQueue:
         timeout.  Only meaningful with a real clock; the simulated executor
         uses :meth:`poll` instead.
         """
-        deadline = (self.clock.now() + timeout) if timeout is not None else None
-        with self._not_empty:
-            while True:
+        batch = self.take_batch(1, timeout=timeout)
+        return batch[0] if batch else None
+
+    def take_batch(self, max_n: int,
+                   timeout: Optional[float] = None) -> list[Request]:
+        """Pop up to ``max_n`` due requests in one pass, arrival-ordered.
+
+        The hot path of the batched driver: a worker drains whole runs of
+        due requests with one lock acquisition per visited shard instead
+        of one condition-variable dance per request.  Blocks (like
+        :meth:`take`) until at least one request is due; returns ``[]`` on
+        shutdown or timeout.  The returned batch is sorted by arrival
+        time; the scan start rotates across shards for fairness.
+        """
+        if max_n <= 0:
+            raise ConfigurationError("take_batch max_n must be positive")
+        deadline = (self.clock.now() + timeout) if timeout is not None \
+            else None
+        while True:
+            with self._not_empty:
                 if self._shutdown:
-                    return None
+                    return []
+                gen = self._gen
+                paused = self._paused
+            next_arrival: Optional[float] = None
+            if not paused:
                 now = self.clock.now()
-                wait: Optional[float] = None
-                if not self._paused and self._queue:
-                    head = self._queue[0]
-                    if head.arrival_time <= now:
-                        self._queue.popleft()
-                        self.taken += 1
-                        return head
-                    wait = head.arrival_time - now
-                if deadline is not None:
-                    remaining = deadline - now
-                    if remaining <= 0:
-                        return None
-                    wait = remaining if wait is None else min(wait, remaining)
+                batch, next_arrival = self._pop_due(now, max_n)
+                if batch:
+                    if len(batch) > 1:
+                        batch.sort(key=lambda r: r.arrival_time)
+                    return batch
+            now = self.clock.now()
+            wait: Optional[float] = None
+            if next_arrival is not None:
+                wait = max(0.0, next_arrival - now)
+            if deadline is not None:
+                remaining = deadline - now
+                if remaining <= 0:
+                    return []
+                wait = remaining if wait is None else min(wait, remaining)
+            with self._not_empty:
+                if self._shutdown:
+                    return []
+                if self._gen != gen:
+                    continue  # state changed since the scan: rescan
                 self._not_empty.wait(wait)
 
+    def _pop_due(self, now: float,
+                 max_n: int) -> tuple[list[Request], Optional[float]]:
+        """Drain up to ``max_n`` due requests; also report next arrival.
+
+        Visits shards starting at a rotating index so single-request
+        takers don't all hammer shard 0.  Returns the popped batch and
+        the earliest future arrival seen (for the caller's park timeout).
+        """
+        batch: list[Request] = []
+        next_arrival: Optional[float] = None
+        nshards = self.shards
+        start = self._rotor
+        self._rotor = (start + 1) % nshards
+        for step in range(nshards):
+            shard = self._shards[(start + step) % nshards]
+            with shard.lock:
+                pending = shard.queue
+                while pending and len(batch) < max_n:
+                    head = pending[0]
+                    if head.arrival_time > now:
+                        break
+                    pending.popleft()
+                    shard.taken += 1
+                    batch.append(head)
+                if pending:
+                    head_time = pending[0].arrival_time
+                    if head_time > now and (next_arrival is None
+                                            or head_time < next_arrival):
+                        next_arrival = head_time
+            if len(batch) >= max_n:
+                break
+        return batch, next_arrival
+
     def poll(self, now: float) -> Optional[Request]:
-        """Non-blocking take for the simulated executor."""
+        """Non-blocking take of the globally earliest due request.
+
+        Deterministic across shard counts (used by the simulated
+        executor): scans every shard head and pops the minimum arrival,
+        exactly what a single deque's head would be.
+        """
         with self._not_empty:
-            if self._shutdown or self._paused or not self._queue:
+            if self._shutdown or self._paused:
                 return None
-            head = self._queue[0]
-            if head.arrival_time > now:
-                return None
-            self._queue.popleft()
-            self.taken += 1
-            return head
+        best: Optional[_Shard] = None
+        best_key: Optional[tuple[float, int]] = None
+        for shard in self._shards:
+            with shard.lock:
+                if shard.queue:
+                    head = shard.queue[0]
+                    if head.arrival_time <= now:
+                        # Tie-break equal arrivals by sequence number so
+                        # pop order matches the single-deque layout.
+                        key = (head.arrival_time, head.seq)
+                        if best_key is None or key < best_key:
+                            best, best_key = shard, key
+        if best is None:
+            return None
+        with best.lock:
+            if best.queue and best.queue[0].arrival_time <= now:
+                best.taken += 1
+                return best.queue.popleft()
+        return None
 
     def next_arrival(self) -> Optional[float]:
-        with self._mutex:
-            return self._queue[0].arrival_time if self._queue else None
+        earliest: Optional[float] = None
+        for shard in self._shards:
+            with shard.lock:
+                if shard.queue:
+                    head_time = shard.queue[0].arrival_time
+                    if earliest is None or head_time < earliest:
+                        earliest = head_time
+        return earliest
 
     # -- control -------------------------------------------------------------
 
@@ -183,10 +421,12 @@ class RequestQueue:
         """Block workers from pulling (the game's mixture-dialog pause)."""
         with self._not_empty:
             self._paused = True
+            self._gen += 1
 
     def resume(self) -> None:
         with self._not_empty:
             self._paused = False
+            self._gen += 1
             self._not_empty.notify_all()
 
     @property
@@ -196,8 +436,8 @@ class RequestQueue:
     def shutdown(self) -> None:
         with self._not_empty:
             self._shutdown = True
+            self._gen += 1
             self._not_empty.notify_all()
 
     def __len__(self) -> int:
-        with self._mutex:
-            return len(self._queue)
+        return sum(self.shard_depths())

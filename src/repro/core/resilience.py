@@ -317,6 +317,11 @@ class ResilienceStats:
         with self._lock:
             self._attempts += 1
 
+    def record_attempts(self, count: int) -> None:
+        """Bulk attempt accounting for the executors' batched fast path."""
+        with self._lock:
+            self._attempts += count
+
     def record_retry(self, delay: float) -> None:
         with self._lock:
             self._retried += 1
@@ -373,6 +378,25 @@ class Resilience:
     def policy_for(self, txn_name: str) -> RetryPolicy:
         with self._lock:
             return self._per_procedure.get(txn_name, self._default)
+
+    def bypass_eligible(self) -> bool:
+        """True when the attempt loop degenerates to one bare attempt.
+
+        No policy (default or per-procedure override) retries or applies
+        a statement timeout, and the breaker is disabled — so for every
+        transaction :func:`run_with_resilience` would do exactly one
+        ``_attempt`` plus bookkeeping.  The threaded executor checks this
+        once per taken batch and runs attempts directly, bulk-recording
+        attempt counts via :meth:`ResilienceStats.record_attempts`;
+        control-plane reconfiguration mid-run is picked up at the next
+        batch boundary.
+        """
+        if self.breaker.enabled:
+            return False
+        with self._lock:
+            policies = [self._default, *self._per_procedure.values()]
+        return all(policy.max_attempts == 1 and policy.timeout is None
+                   for policy in policies)
 
     def set_default(self, policy: RetryPolicy) -> None:
         with self._lock:
@@ -497,7 +521,11 @@ def run_with_resilience(proc, txn_name: str, conn: FaultingConnection,
     while True:
         attempts += 1
         stats.record_attempt()
-        plan = injector.attempt_begin(txn_name) if injector is not None \
+        # ``armed`` is a lock-free read: while faults are disabled the
+        # injector's per-attempt lock is never touched.  (Default True so
+        # duck-typed injectors without the property still inject.)
+        plan = injector.attempt_begin(txn_name) \
+            if injector is not None and getattr(injector, "armed", True) \
             else None
         if plan is not None and plan.kind == KIND_LATENCY:
             spike = plan.latency
@@ -522,7 +550,8 @@ def run_with_resilience(proc, txn_name: str, conn: FaultingConnection,
             # the punch, and a stale plan must not leak into the retry.
             conn.arm(None)
         ok = status == STATUS_OK
-        resilience.breaker.record(ok, clock.now())
+        if resilience.breaker.enabled:
+            resilience.breaker.record(ok, clock.now())
         if ok:
             if attempts > 1:
                 stats.record_recovered()

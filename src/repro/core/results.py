@@ -17,8 +17,7 @@ from __future__ import annotations
 
 import math
 import threading
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from ..metrics import StreamingMetrics
 
@@ -29,26 +28,54 @@ STATUS_ERROR = "error"
 PERCENTILES = (25.0, 50.0, 75.0, 90.0, 95.0, 99.0)
 
 
-@dataclass(frozen=True)
 class LatencySample:
     """Outcome of one transaction request.
 
     ``start`` is the request's scheduled arrival time; ``queue_delay`` the
     time it waited in the central queue; ``latency`` the execution time
     (dequeue to completion), matching OLTP-Bench's reported latency.
+
+    A hand-rolled ``__slots__`` class rather than a frozen dataclass: one
+    instance is built per executed transaction, and the frozen-dataclass
+    ``object.__setattr__``-per-field constructor costs ~1µs more per
+    sample than plain slot assignment, which is real money on the batched
+    driver hot path (``benchmarks/bench_queue_scaling.py``).
     """
 
-    txn_name: str
-    start: float
-    queue_delay: float
-    latency: float
-    status: str = STATUS_OK
-    worker_id: int = 0
-    tenant: str = "tenant-0"
+    __slots__ = ("txn_name", "start", "queue_delay", "latency", "status",
+                 "worker_id", "tenant", "end")
 
-    @property
-    def end(self) -> float:
-        return self.start + self.queue_delay + self.latency
+    def __init__(self, txn_name: str, start: float, queue_delay: float,
+                 latency: float, status: str = STATUS_OK,
+                 worker_id: int = 0, tenant: str = "tenant-0") -> None:
+        self.txn_name = txn_name
+        self.start = start
+        self.queue_delay = queue_delay
+        self.latency = latency
+        self.status = status
+        self.worker_id = worker_id
+        self.tenant = tenant
+        #: Completion time; precomputed because the recording pipeline
+        #: (buffer epoch check, window ingest) reads it several times.
+        self.end = start + queue_delay + latency
+
+    def _key(self) -> tuple:
+        return (self.txn_name, self.start, self.queue_delay, self.latency,
+                self.status, self.worker_id, self.tenant)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencySample):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (f"LatencySample(txn_name={self.txn_name!r}, "
+                f"start={self.start!r}, queue_delay={self.queue_delay!r}, "
+                f"latency={self.latency!r}, status={self.status!r}, "
+                f"worker_id={self.worker_id!r}, tenant={self.tenant!r})")
 
     @property
     def response_time(self) -> float:
@@ -63,6 +90,7 @@ class Results:
         self._lock = threading.Lock()
         self._samples: list[LatencySample] = []
         self._postponed = 0  # requests the queue shed to hold the rate cap
+        self._batches = 0  # record_batch calls (recorder flush telemetry)
         self.metrics = metrics or StreamingMetrics()
 
     def record(self, sample: LatencySample) -> None:
@@ -70,6 +98,32 @@ class Results:
             self._samples.append(sample)
         self.metrics.observe(sample.end, sample.txn_name, sample.latency,
                              sample.status)
+
+    def record_batch(self, samples: Sequence[LatencySample]) -> None:
+        """Fold a worker-local buffer in: one list extend, one lock pass.
+
+        The epoch-flush target of :class:`SampleBuffer` — and the
+        building block of :func:`merge`, which previously replayed
+        every sample through :meth:`record` (one results-lock and one
+        metrics-lock acquisition *per sample*).
+        """
+        if not samples:
+            return
+        with self._lock:
+            self._samples.extend(samples)
+            self._batches += 1
+        self.metrics.observe_batch(samples)
+
+    def buffered(self, capacity: int = 256,
+                 interval: float = 0.25) -> "SampleBuffer":
+        """A worker-local buffering recorder flushing into this container."""
+        return SampleBuffer(self, capacity=capacity, interval=interval)
+
+    def recorder_stats(self) -> dict[str, int]:
+        """Batched-recording telemetry for the metrics payload."""
+        with self._lock:
+            return {"sample_batches": self._batches,
+                    "samples": len(self._samples)}
 
     def record_postponed(self, count: int = 1) -> None:
         with self._lock:
@@ -181,6 +235,82 @@ class Results:
         }
 
 
+class SampleBuffer:
+    """Worker-local sample buffer: per-sample appends, epoch flushes.
+
+    The seed driver acquired the results lock *and* the metrics lock for
+    every completed transaction; with 32 workers on one machine that per-
+    sample lock traffic is the driver's own bottleneck (RP009 now rejects
+    it statically).  A worker owns one ``SampleBuffer``, calls :meth:`add`
+    per transaction (a plain list append), and the buffer flushes into
+    :meth:`Results.record_batch` when it reaches ``capacity`` samples or
+    when ``interval`` seconds of *sample time* have passed since the last
+    flush — no extra clock reads on the hot path, because the sample's own
+    ``end`` timestamp drives the epoch.
+
+    Not thread-safe by design: one buffer per worker thread.  The owner
+    must call :meth:`flush` when idling, pausing, or exiting so no tail
+    samples are stranded.
+    """
+
+    __slots__ = ("_results", "_buffer", "_capacity", "_interval", "_last")
+
+    def __init__(self, results: Results, capacity: int = 256,
+                 interval: float = 0.25) -> None:
+        if capacity < 1:
+            raise ValueError("SampleBuffer capacity must be >= 1")
+        self._results = results
+        self._buffer: list[LatencySample] = []
+        self._capacity = capacity
+        self._interval = interval
+        self._last: Optional[float] = None
+
+    def add(self, sample: LatencySample) -> None:
+        buffer = self._buffer
+        buffer.append(sample)
+        if self._last is None:
+            self._last = sample.end
+        if len(buffer) >= self._capacity or \
+                sample.end - self._last >= self._interval:
+            self.flush()
+
+    def flush(self) -> int:
+        """Publish buffered samples; returns how many were flushed."""
+        buffer = self._buffer
+        if not buffer:
+            return 0
+        self._last = buffer[-1].end
+        self._buffer = []
+        self._results.record_batch(buffer)
+        return len(buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class DirectRecorder:
+    """Unbuffered recorder with the :class:`SampleBuffer` interface.
+
+    The seed-compatibility mode of the executors (``buffer_samples=False``)
+    and the substrate for apples-to-apples overhead benchmarks: every
+    :meth:`add` is an immediate per-sample :meth:`Results.record`.
+    """
+
+    __slots__ = ("_results",)
+
+    def __init__(self, results: Results) -> None:
+        self._results = results
+
+    def add(self, sample: LatencySample) -> None:
+        self._results.record(sample)
+
+    def flush(self) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return 0
+
+
 def percentile(sorted_values: list[float], pct: float) -> float:
     """Linear-interpolated percentile of pre-sorted values."""
     if not sorted_values:
@@ -201,12 +331,13 @@ def merge(results: Iterable[Results]) -> Results:
 
     ``samples()`` and the ``postponed`` property both read under the
     source result's lock, so merging is safe against concurrent
-    recording; replaying through ``record()`` rebuilds the merged
-    streaming metrics as a side effect.
+    recording.  Each source folds in through one ``record_batch`` call
+    — a single list extend and one metrics-lock pass per container,
+    instead of replaying every sample through ``record()`` (which made
+    merging N tenants of S samples cost 2·N·S lock acquisitions).
     """
     merged = Results()
     for result in results:
-        for sample in result.samples():
-            merged.record(sample)
+        merged.record_batch(result.samples())
         merged.record_postponed(result.postponed)
     return merged

@@ -115,9 +115,14 @@ class FaultingConnection:
     def __exit__(self, exc_type, exc, tb) -> None:
         self._conn.__exit__(exc_type, exc, tb)
 
-    # Everything else (in_transaction, last_txn_stats, database,
-    # isolation, autocommit, ...) reads straight through to the wrapped
-    # connection.
+    # Checked once per transaction attempt: a direct delegation skips
+    # the double getattr of the ``__getattr__`` fallback below.
+    @property
+    def in_transaction(self):
+        return self._conn.in_transaction
+
+    # Everything else (last_txn_stats, database, isolation, autocommit,
+    # ...) reads straight through to the wrapped connection.
     def __getattr__(self, name: str):
         return getattr(self._conn, name)
 

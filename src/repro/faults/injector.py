@@ -64,6 +64,19 @@ class FaultInjector:
 
     # -- the per-attempt decision -------------------------------------------
 
+    @property
+    def armed(self) -> bool:
+        """Whether the current profile can inject anything.
+
+        A lock-free read (profile swaps are atomic reference assignments)
+        so the executors' hot path can skip :meth:`attempt_begin` — and
+        its per-attempt lock — entirely while faults are disabled.  The
+        ``attempts`` counter therefore counts attempts observed while
+        armed, which is exactly the sequence the fault schedule is a
+        function of.
+        """
+        return self._profile.enabled
+
     def attempt_begin(self, txn_name: str) -> Optional[FaultPlan]:
         """Decide the fault (if any) for the attempt that is starting.
 

@@ -105,14 +105,24 @@ class LatencyHistogram:
 
     # -- recording ----------------------------------------------------------
 
-    def record(self, value: float) -> None:
+    def record(self, value: float, index: Optional[int] = None) -> int:
+        """Record one value; returns its bin index.
+
+        Callers recording the same value into several histograms with
+        identical layouts (``StreamingMetrics``: per-transaction plus
+        run-wide) pass the returned ``index`` back in to skip the
+        duplicate ``log10`` bin computation on the ingest hot path.
+        """
         self.count += 1
         self.sum += value
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
-        self._counts[self._index(value)] += 1
+        if index is None:
+            index = self._index(value)
+        self._counts[index] += 1
+        return index
 
     def merge(self, other: "LatencyHistogram") -> None:
         """Fold another histogram in (multi-tenant aggregation)."""

@@ -58,25 +58,44 @@ class StreamingMetrics:
     def observe(self, end: float, txn_name: str, latency: float,
                 status: str) -> None:
         with self._lock:
-            self.window.record(end, txn_name, latency, status)
-            entry = self._counts.get(txn_name)
-            if entry is None:
-                entry = self._counts[txn_name] = [0, 0, 0]
-            if status == _OK:
-                entry[0] += 1
-                self._committed += 1
-                histogram = self._per_txn.get(txn_name)
-                if histogram is None:
-                    histogram = self._per_txn[txn_name] = \
-                        make_histogram(self._template)
-                histogram.record(latency)
-                self._total.record(latency)
-            elif status == _ABORTED:
-                entry[1] += 1
-                self._aborted += 1
-            else:
-                entry[2] += 1
-                self._errors += 1
+            self._observe_one(end, txn_name, latency, status)
+
+    def observe_batch(self, samples) -> None:
+        """Fold a worker-local buffer in under one lock acquisition.
+
+        ``samples`` is any iterable of objects with ``end``/``txn_name``/
+        ``latency``/``status`` attributes (:class:`LatencySample`); the
+        epoch-flush path of the batched driver, so per-sample lock
+        traffic disappears from the worker hot loop.
+        """
+        with self._lock:
+            for sample in samples:
+                self._observe_one(sample.end, sample.txn_name,
+                                  sample.latency, sample.status)
+
+    def _observe_one(self, end: float, txn_name: str, latency: float,
+                     status: str) -> None:
+        """Ingest one sample; caller holds ``self._lock``."""
+        self.window.record(end, txn_name, latency, status)
+        entry = self._counts.get(txn_name)
+        if entry is None:
+            entry = self._counts[txn_name] = [0, 0, 0]
+        if status == _OK:
+            entry[0] += 1
+            self._committed += 1
+            histogram = self._per_txn.get(txn_name)
+            if histogram is None:
+                histogram = self._per_txn[txn_name] = \
+                    make_histogram(self._template)
+            # Same bin layout (both built from the template): reuse the
+            # bin index instead of recomputing the log10 twice.
+            self._total.record(latency, histogram.record(latency))
+        elif status == _ABORTED:
+            entry[1] += 1
+            self._aborted += 1
+        else:
+            entry[2] += 1
+            self._errors += 1
 
     def record_postponed(self, count: int = 1) -> None:
         with self._lock:

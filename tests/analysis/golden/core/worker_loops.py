@@ -1,0 +1,46 @@
+"""RP009 fixture: worker loops that take shared locks per sample."""
+
+
+class SeedStyleExecutor:
+    def _worker_loop(self, manager, worker_id):
+        while manager.running:
+            request = manager.queue.take(timeout=0.2)
+            if request is None:
+                continue
+            sample = self._run(manager, request)
+            manager.record(sample)  # !RP009
+
+    def _execute(self, manager, worker_id, sample):
+        manager.results.record(sample)  # !RP009
+        manager.results.metrics.observe(  # !RP009
+            sample.end, sample.txn_name, sample.latency, sample.status)
+
+    def worker_flush(self, metrics, samples):
+        for sample in samples:
+            metrics.observe(sample.end, sample.txn_name,  # !RP009
+                            sample.latency, sample.status)
+
+    def _run(self, manager, request):
+        return request
+
+
+class BatchedExecutor:
+    """The sanctioned shape: worker-local buffer, epoch flushes."""
+
+    def _worker_loop(self, manager, worker_id):
+        recorder = manager.results.buffered()
+        while manager.running:
+            batch = manager.queue.take_batch(16, timeout=0.2)
+            if not batch:
+                recorder.flush()
+                continue
+            for request in batch:
+                recorder.add(self._run(manager, request))
+
+    def _complete(self, manager, sample):
+        # Orchestration callbacks (per event, not per worker iteration)
+        # are out of RP009's scope.
+        manager.record(sample)
+
+    def _run(self, manager, request):
+        return request

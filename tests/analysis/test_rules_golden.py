@@ -27,6 +27,7 @@ FIXTURES = {
     "RP006": GOLDEN / "hot" / "executors.py",
     "RP007": GOLDEN / "metrics" / "stream_bad.py",
     "RP008": GOLDEN / "faults" / "injector.py",
+    "RP009": GOLDEN / "core" / "worker_loops.py",
 }
 
 

@@ -205,8 +205,10 @@ def test_metrics_payload_shape(mini_benchmark):
     assert payload["tenant"] == manager.tenant
     assert payload["state"] == "running"
     assert set(payload["queue"]) == {"offered", "taken", "postponed",
-                                     "depth"}
+                                     "depth", "shards"}
     assert payload["queue"]["offered"] == 100
+    assert payload["queue"]["shards"] == manager.queue.shards
+    assert payload["recording"] == manager.results.recorder_stats()
     assert "throughput" in payload["window"]
     assert "total" in payload["latency"]
     assert payload["bins"]["bins_per_decade"] == 32

@@ -1,0 +1,249 @@
+"""Sharded request queue: invariant, equivalence oracle, batched take.
+
+The sharding refactor must be invisible through the public API: for any
+seeded offer/poll/clear schedule, an N-shard queue postpones exactly the
+requests a single-deque queue would, and ``offered == taken + postponed
++ depth`` holds at every observation point under both cap and backlog
+policies.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.requestqueue import (POLICY_BACKLOG, POLICY_CAP,
+                                     RequestQueue, SHARDS_ENV,
+                                     default_shards)
+from repro.errors import ConfigurationError
+from repro.rand import make_rng
+
+SHARD_COUNTS = [1, 2, 4, 7]
+
+
+def assert_invariant(queue):
+    counters = queue.counters()
+    assert counters["offered"] == (counters["taken"]
+                                   + counters["postponed"]
+                                   + counters["depth"]), counters
+
+
+def seeded_schedule(seed, seconds=6, rate=40):
+    """Deterministic per-second arrival batches (uneven, with ties)."""
+    rng = make_rng(seed, "sharded-oracle")
+    schedule = []
+    for second in range(seconds):
+        count = rng.randint(0, rate)
+        batch = sorted(second + rng.random() for _ in range(count))
+        if batch and rng.random() < 0.5:
+            batch.append(batch[-1])  # equal arrival times must tie-break
+        schedule.append(batch)
+    return schedule
+
+
+# -- equivalence oracle ---------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", [POLICY_CAP, POLICY_BACKLOG])
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_sharded_matches_single_on_seeded_schedules(policy, shards):
+    """The acceptance oracle: identical postponement and delivery order."""
+    for seed in range(5):
+        single = RequestQueue(clock=SimClock(), policy=policy, shards=1)
+        sharded = RequestQueue(clock=SimClock(), policy=policy,
+                               shards=shards)
+        rng = make_rng(seed, "oracle-serve")
+        for second, batch in enumerate(seeded_schedule(seed)):
+            assert single.offer_batch(batch) == \
+                sharded.offer_batch(batch)
+            # Serve a random fraction so some requests go stale.
+            serves = rng.randint(0, max(1, len(batch)))
+            now = second + 1.0
+            for _ in range(serves):
+                a = single.poll(now)
+                b = sharded.poll(now)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.arrival_time == b.arrival_time
+                    assert a.seq == b.seq
+            assert single.counters() == sharded.counters()
+            assert_invariant(sharded)
+        assert single.postponed == sharded.postponed
+        assert single.counters() == sharded.counters()
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_clear_counts_postponed_across_shards(shards):
+    queue = RequestQueue(clock=SimClock(), shards=shards)
+    queue.offer_batch([0.1 * i for i in range(17)])
+    assert queue.clear() == 17
+    assert queue.postponed == 17
+    assert len(queue) == 0
+    assert_invariant(queue)
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_drop_due_across_shards(shards):
+    queue = RequestQueue(clock=SimClock(), shards=shards)
+    queue.offer_batch([0.0, 0.2, 0.4, 5.0, 6.0])
+    assert queue.drop_due(1.0) == 3
+    assert queue.postponed == 3
+    assert len(queue) == 2
+    assert_invariant(queue)
+
+
+def test_round_robin_balances_shards():
+    queue = RequestQueue(clock=SimClock(), shards=4,
+                         policy=POLICY_BACKLOG)
+    queue.offer_batch([0.01 * i for i in range(100)])
+    assert queue.shard_depths() == [25, 25, 25, 25]
+    # A second batch continues the rotation from the global seq.
+    queue.offer_batch([10.0 + 0.01 * i for i in range(6)])
+    assert sorted(queue.shard_depths()) == [26, 26, 27, 27]
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_pause_resume_shutdown_sharded(shards):
+    clock = SimClock()
+    queue = RequestQueue(clock=clock, shards=shards)
+    queue.offer_batch([0.0, 0.1])
+    clock.run_until(1.0)
+    queue.pause()
+    assert queue.poll(1.0) is None
+    assert queue.take_batch(4, timeout=0.0) == []
+    queue.resume()
+    assert len(queue.take_batch(4, timeout=0.0)) == 2
+    queue.shutdown()
+    assert queue.take_batch(4, timeout=None) == []
+    assert_invariant(queue)
+
+
+# -- batched take ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_take_batch_sorted_by_arrival(shards):
+    clock = SimClock()
+    queue = RequestQueue(clock=clock, shards=shards)
+    arrivals = [0.05 * i for i in range(20)]
+    queue.offer_batch(arrivals)
+    clock.run_until(1.0)
+    batch = queue.take_batch(20, timeout=0.0)
+    assert [r.arrival_time for r in batch] == arrivals
+    assert_invariant(queue)
+
+
+def test_take_batch_respects_max_n():
+    clock = SimClock()
+    queue = RequestQueue(clock=clock, shards=4)
+    queue.offer_batch([0.0] * 4 + [0.1] * 4)
+    clock.run_until(1.0)
+    first = queue.take_batch(5, timeout=0.0)
+    assert len(first) == 5
+    rest = queue.take_batch(5, timeout=0.0)
+    assert len(rest) == 3
+    # Each batch is arrival-sorted; a truncated drain may interleave
+    # across batches (per-shard FIFO, not a global heap), but nothing
+    # is lost or duplicated.
+    for batch in (first, rest):
+        times = [r.arrival_time for r in batch]
+        assert times == sorted(times)
+    assert sorted(r.seq for r in first + rest) == list(range(1, 9))
+    assert_invariant(queue)
+
+
+def test_take_batch_only_due_requests():
+    clock = SimClock()
+    queue = RequestQueue(clock=clock, shards=4)
+    queue.offer_batch([0.0, 0.5, 99.0])
+    clock.run_until(1.0)
+    batch = queue.take_batch(10, timeout=0.0)
+    assert [r.arrival_time for r in batch] == [0.0, 0.5]
+    assert len(queue) == 1
+    assert_invariant(queue)
+
+
+def test_take_batch_rejects_nonpositive():
+    queue = RequestQueue(clock=SimClock())
+    with pytest.raises(ConfigurationError):
+        queue.take_batch(0)
+
+
+def test_take_batch_timeout_returns_empty():
+    queue = RequestQueue(shards=4)  # real clock
+    assert queue.take_batch(8, timeout=0.01) == []
+
+
+def test_take_delegates_to_batched_path():
+    queue = RequestQueue(clock=SimClock(), shards=4)
+    queue.offer_batch([0.0, 0.1])
+    request = queue.take(timeout=0.0)
+    assert request is not None and request.arrival_time == 0.0
+    assert_invariant(queue)
+
+
+# -- wakeups (satellite: notify(n), no lost wakeups) ----------------------
+
+
+def test_offer_batch_wakes_enough_blocked_takers():
+    """notify(len(batch)) must wake enough takers to drain the batch."""
+    queue = RequestQueue(shards=4)  # real clock: arrivals in the past
+    results = []
+    lock = threading.Lock()
+
+    def taker():
+        got = queue.take_batch(1, timeout=5.0)
+        with lock:
+            results.extend(got)
+
+    threads = [threading.Thread(target=taker) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.05)  # let every taker park on the condvar
+    queue.offer_batch([0.0] * 6)
+    for thread in threads:
+        thread.join(timeout=5.0)
+    assert not any(t.is_alive() for t in threads)
+    assert len(results) == 6
+    assert_invariant(queue)
+
+
+def test_shutdown_wakes_all_blocked_batch_takers():
+    queue = RequestQueue(shards=2)
+    done = threading.Event()
+
+    def taker():
+        queue.take_batch(4, timeout=None)
+        done.set()
+
+    thread = threading.Thread(target=taker)
+    thread.start()
+    time.sleep(0.02)
+    queue.shutdown()
+    assert done.wait(timeout=2.0)
+    thread.join(timeout=2.0)
+
+
+# -- configuration --------------------------------------------------------
+
+
+def test_shard_count_validation():
+    with pytest.raises(ConfigurationError):
+        RequestQueue(shards=0)
+    with pytest.raises(ConfigurationError):
+        RequestQueue(shards=65)
+
+
+def test_default_shards_env(monkeypatch):
+    monkeypatch.delenv(SHARDS_ENV, raising=False)
+    assert default_shards() == 1
+    monkeypatch.setenv(SHARDS_ENV, "8")
+    assert default_shards() == 8
+    assert RequestQueue(clock=SimClock()).shards == 8
+    monkeypatch.setenv(SHARDS_ENV, "nope")
+    with pytest.raises(ConfigurationError):
+        default_shards()
+    monkeypatch.setenv(SHARDS_ENV, "0")
+    with pytest.raises(ConfigurationError):
+        default_shards()

@@ -156,3 +156,87 @@ def test_record_feeds_streaming_metrics_once():
     snap = results.metrics.snapshot(10.0, 10.0)
     assert snap["totals"]["committed"] == 10
     assert snap["window"]["throughput"] == pytest.approx(1.0)
+
+
+# -- batched recording (sharded-driver hot path) --------------------------
+
+
+def test_record_batch_matches_per_sample_record():
+    batched, serial = Results(), Results()
+    samples = [sample("A", start=float(i)) for i in range(20)]
+    batched.record_batch(samples)
+    for s in samples:
+        serial.record(s)
+    assert batched.samples() == serial.samples()
+    assert batched.metrics.committed() == serial.metrics.committed()
+    assert batched.metrics.throughput_series() == \
+        serial.metrics.throughput_series()
+    assert batched.recorder_stats()["sample_batches"] == 1
+    assert serial.recorder_stats()["sample_batches"] == 0
+
+
+def test_record_batch_empty_is_noop():
+    results = Results()
+    results.record_batch([])
+    assert len(results) == 0
+    assert results.recorder_stats() == {"sample_batches": 0, "samples": 0}
+
+
+def test_sample_buffer_flushes_at_capacity():
+    results = Results()
+    buffer = results.buffered(capacity=4, interval=1000.0)
+    for i in range(3):
+        buffer.add(sample(start=float(i)))
+        assert len(results) == 0  # still worker-local
+    buffer.add(sample(start=3.0))
+    assert len(results) == 4
+    assert len(buffer) == 0
+
+
+def test_sample_buffer_flushes_on_sample_time_epoch():
+    results = Results()
+    buffer = results.buffered(capacity=1000, interval=0.25)
+    buffer.add(sample(start=0.0))
+    buffer.add(sample(start=0.1))
+    assert len(results) == 0
+    buffer.add(sample(start=0.3))  # 0.3 - 0.0 >= 0.25: epoch flush
+    assert len(results) == 3
+
+
+def test_sample_buffer_manual_flush_and_stranded_tail():
+    results = Results()
+    buffer = results.buffered(capacity=100, interval=100.0)
+    buffer.add(sample(start=0.0))
+    buffer.add(sample(start=0.1))
+    assert buffer.flush() == 2
+    assert buffer.flush() == 0
+    assert len(results) == 2
+
+
+def test_sample_buffer_capacity_validated():
+    with pytest.raises(ValueError):
+        Results().buffered(capacity=0)
+
+
+def test_direct_recorder_is_unbuffered():
+    from repro.core.results import DirectRecorder
+    results = Results()
+    recorder = DirectRecorder(results)
+    recorder.add(sample(start=0.0))
+    assert len(results) == 1
+    assert recorder.flush() == 0
+    assert results.recorder_stats()["sample_batches"] == 0
+
+
+def test_merge_uses_one_batch_per_source():
+    sources = []
+    for i in range(3):
+        results = Results()
+        for j in range(5):
+            results.record(sample(start=float(i * 5 + j)))
+        sources.append(results)
+    merged = merge(sources)
+    assert len(merged) == 15
+    # One extend per source container, not one lock pass per sample.
+    assert merged.recorder_stats()["sample_batches"] == 3
+    assert merged.metrics.committed() == 15
